@@ -1,0 +1,252 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one BenchmarkFig*/BenchmarkTable* per artifact, driving the
+// internal/exp runners at benchmark scale), plus micro-benchmarks of the
+// format and engine hot paths.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// For the full-scale experiment tables use cmd/gsbench instead.
+package gstore_test
+
+import (
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"github.com/gwu-systems/gstore/internal/algo"
+	"github.com/gwu-systems/gstore/internal/core"
+	"github.com/gwu-systems/gstore/internal/exp"
+	"github.com/gwu-systems/gstore/internal/gen"
+	"github.com/gwu-systems/gstore/internal/graph"
+	"github.com/gwu-systems/gstore/internal/storage"
+	"github.com/gwu-systems/gstore/internal/tile"
+)
+
+// benchConfig builds a small-scale experiment config with cached graphs
+// shared across benchmarks of one `go test` process.
+func benchConfig(b *testing.B) *exp.Config {
+	b.Helper()
+	c := &exp.Config{
+		WorkDir:    benchWorkDir(b),
+		Scale:      12,
+		EdgeFactor: 8,
+		Seed:       1,
+		Out:        io.Discard,
+		Quick:      true,
+	}
+	c.Defaults()
+	return c
+}
+
+var (
+	benchDirOnce sync.Once
+	benchDir     string
+)
+
+func benchWorkDir(b *testing.B) string {
+	benchDirOnce.Do(func() {
+		d, err := os.MkdirTemp("", "gstore-bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchDir = d
+	})
+	return benchDir
+}
+
+func runExp(b *testing.B, id string) {
+	b.Helper()
+	r, ok := exp.Find(id)
+	if !ok {
+		b.Fatalf("experiment %s not found", id)
+	}
+	c := benchConfig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Run(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- one benchmark per paper artifact ---
+
+func BenchmarkFig02a(b *testing.B) { runExp(b, "fig2a") }
+func BenchmarkFig02b(b *testing.B) { runExp(b, "fig2b") }
+func BenchmarkFig02c(b *testing.B) { runExp(b, "fig2c") }
+func BenchmarkTable1(b *testing.B) { runExp(b, "table1") }
+func BenchmarkTable2(b *testing.B) { runExp(b, "table2") }
+func BenchmarkFig05(b *testing.B)  { runExp(b, "fig5") }
+func BenchmarkFig07(b *testing.B)  { runExp(b, "fig7") }
+func BenchmarkTable3(b *testing.B) { runExp(b, "table3") }
+func BenchmarkFig09(b *testing.B)  { runExp(b, "fig9") }
+func BenchmarkXStreamComparison(b *testing.B) {
+	runExp(b, "xstream")
+}
+func BenchmarkFig10(b *testing.B) { runExp(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { runExp(b, "fig11") }
+func BenchmarkFig12(b *testing.B) { runExp(b, "fig12") }
+func BenchmarkFig13(b *testing.B) { runExp(b, "fig13") }
+func BenchmarkFig14(b *testing.B) { runExp(b, "fig14") }
+func BenchmarkFig15(b *testing.B) { runExp(b, "fig15") }
+func BenchmarkAblationAIO(b *testing.B) {
+	runExp(b, "aio")
+}
+func BenchmarkAblationSelective(b *testing.B) {
+	runExp(b, "selective")
+}
+func BenchmarkAblationPolicy(b *testing.B) {
+	runExp(b, "policy")
+}
+func BenchmarkExtTiered(b *testing.B)   { runExp(b, "tiered") }
+func BenchmarkExtAsyncBFS(b *testing.B) { runExp(b, "asyncbfs") }
+func BenchmarkExtSCC(b *testing.B)      { runExp(b, "scc") }
+func BenchmarkExtMSBFS(b *testing.B)    { runExp(b, "msbfs") }
+
+// --- micro-benchmarks of the hot paths ---
+
+func benchGraph(b *testing.B) *tile.Graph {
+	b.Helper()
+	base := tile.BasePath(benchWorkDir(b), "micro")
+	if g, err := tile.Open(base); err == nil {
+		return g
+	}
+	el, err := gen.Generate(gen.Graph500Config(14, 16, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := tile.Convert(el, benchWorkDir(b), "micro", tile.ConvertOptions{
+		TileBits: 8, GroupQ: 8, Symmetry: true, SNB: true, Degrees: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkSNBEncode measures the tuple codec (§IV-B).
+func BenchmarkSNBEncode(b *testing.B) {
+	var buf [4]byte
+	b.SetBytes(tile.SNBTupleBytes)
+	for i := 0; i < b.N; i++ {
+		tile.PutSNB(buf[:], uint16(i), uint16(i>>4))
+	}
+}
+
+// BenchmarkSNBDecode measures tuple decoding throughput.
+func BenchmarkSNBDecode(b *testing.B) {
+	data := make([]byte, 1<<16)
+	for i := 0; i < len(data); i += 4 {
+		tile.PutSNB(data[i:], uint16(i), uint16(i+1))
+	}
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		sum := uint32(0)
+		_ = tile.DecodeTuples(data, true, 0, 0, func(s, d uint32) { sum += s ^ d })
+	}
+}
+
+// BenchmarkConvert measures the two-pass edge-list-to-tile conversion
+// (Table I's G-Store column).
+func BenchmarkConvert(b *testing.B) {
+	el, err := gen.Generate(gen.Graph500Config(13, 8, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	b.SetBytes(int64(len(el.Edges)) * graph.EdgeTupleBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := tile.Convert(el, dir, "c", tile.ConvertOptions{
+			TileBits: 7, GroupQ: 8, Symmetry: true, SNB: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.Close()
+	}
+}
+
+// BenchmarkEnginePageRankIteration measures one disk-backed PageRank
+// iteration through the full SCR pipeline.
+func BenchmarkEnginePageRankIteration(b *testing.B) {
+	g := benchGraph(b)
+	defer g.Close()
+	opts := core.DefaultOptions()
+	opts.MemoryBytes = g.DataBytes() / 2
+	opts.SegmentSize = opts.MemoryBytes / 8
+	e, err := core.NewEngine(g, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	b.SetBytes(g.DataBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(algo.NewPageRank(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineBFS measures a full BFS run (the Table III workload).
+func BenchmarkEngineBFS(b *testing.B) {
+	g := benchGraph(b)
+	defer g.Close()
+	opts := core.DefaultOptions()
+	opts.MemoryBytes = g.DataBytes() / 2
+	opts.SegmentSize = opts.MemoryBytes / 8
+	e, err := core.NewEngine(g, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(algo.NewBFS(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRMATGeneration measures the Kronecker edge generator.
+func BenchmarkRMATGeneration(b *testing.B) {
+	cfg := gen.Graph500Config(12, 8, 5)
+	b.SetBytes(cfg.NumEdges() * 8)
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := gen.Stream(cfg, func(graph.Edge) error {
+			n++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkArrayRead measures the simulated SSD array's unthrottled
+// batched read path.
+func BenchmarkArrayRead(b *testing.B) {
+	g := benchGraph(b)
+	defer g.Close()
+	arr, err := storage.NewArray(g.TilesFile(), storage.Options{NumDisks: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer arr.Close()
+	buf := make([]byte, 1<<20)
+	if int64(len(buf)) > g.DataBytes() {
+		buf = buf[:g.DataBytes()]
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := arr.ReadSync(0, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Command gsbench regenerates the tables and figures of the paper's
+// evaluation. Each experiment prints an aligned text table; EXPERIMENTS.md
+// records the measured values against the paper's.
+//
+// Usage:
+//
+//	gsbench -list
+//	gsbench -run all [-scale 18] [-edgefactor 16] [-workdir DIR]
+//	gsbench -run fig9,fig10 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/gwu-systems/gstore/internal/exp"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list available experiments")
+		run        = flag.String("run", "", "comma-separated experiment IDs, or 'all'")
+		scale      = flag.Uint("scale", 0, "Kronecker scale of the primary workload (default 18, quick 14)")
+		edgeFactor = flag.Int("edgefactor", 0, "edges per vertex (default 16)")
+		seed       = flag.Uint64("seed", 0, "generator seed")
+		threads    = flag.Int("threads", 0, "worker threads (default GOMAXPROCS)")
+		workDir    = flag.String("workdir", "", "directory for generated graphs (default under TMPDIR)")
+		quick      = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, r := range exp.All() {
+			fmt.Printf("  %-10s %s\n", r.ID, r.Title)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nuse -run <ids|all>")
+		}
+		return
+	}
+
+	cfg := &exp.Config{
+		WorkDir:    *workDir,
+		Scale:      *scale,
+		EdgeFactor: *edgeFactor,
+		Seed:       *seed,
+		Threads:    *threads,
+		Out:        os.Stdout,
+		Quick:      *quick,
+	}
+	cfg.Defaults()
+
+	var ids []string
+	if *run == "all" {
+		for _, r := range exp.All() {
+			ids = append(ids, r.ID)
+		}
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+
+	for _, id := range ids {
+		r, ok := exp.Find(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gsbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("-- %s: %s\n", r.ID, r.Title)
+		begin := time.Now()
+		if err := r.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "gsbench: %s failed: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- %s done in %v\n\n", r.ID, time.Since(begin).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,325 @@
+// Command gstore converts graphs to the tile format and runs the three
+// algorithms of the paper over them with the slide-cache-rewind engine.
+//
+// Usage:
+//
+//	gstore convert -in edges.bin -vertices 1048576 [-directed] -dir data -name mygraph
+//	gstore info -graph data/mygraph
+//	gstore bfs -graph data/mygraph -root 0
+//	gstore pagerank -graph data/mygraph -iters 10
+//	gstore wcc -graph data/mygraph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	gstore "github.com/gwu-systems/gstore"
+	"github.com/gwu-systems/gstore/internal/algo"
+	"github.com/gwu-systems/gstore/internal/core"
+	"github.com/gwu-systems/gstore/internal/report"
+	"github.com/gwu-systems/gstore/internal/tile"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "convert":
+		err = cmdConvert(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "bfs", "asyncbfs", "pagerank", "wcc", "scc":
+		err = cmdRun(os.Args[1], os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gstore:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  gstore convert -in edges.bin -vertices N [-directed] -dir DIR -name NAME [-tilebits 16] [-groupq 256]
+  gstore info -graph DIR/NAME
+  gstore verify -graph DIR/NAME
+  gstore stats -graph DIR/NAME
+  gstore bfs -graph DIR/NAME -root 0 [engine flags]
+  gstore asyncbfs -graph DIR/NAME -root 0 [engine flags]
+  gstore pagerank -graph DIR/NAME -iters 10 [engine flags]
+  gstore wcc -graph DIR/NAME [engine flags]
+  gstore scc -graph DIR/NAME [engine flags]   (directed graphs)`)
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "binary edge list input (8 bytes/edge)")
+	vertices := fs.Uint64("vertices", 0, "number of vertices")
+	directed := fs.Bool("directed", false, "treat input as directed")
+	dir := fs.String("dir", ".", "output directory")
+	name := fs.String("name", "", "output base name")
+	tileBits := fs.Uint("tilebits", 16, "log2 tile width")
+	groupQ := fs.Uint("groupq", 256, "physical group width in tiles")
+	noSym := fs.Bool("nosymmetry", false, "disable the symmetry (half) storage")
+	noSNB := fs.Bool("nosnb", false, "disable the SNB tuple encoding")
+	fs.Parse(args)
+	if *in == "" || *name == "" || *vertices == 0 {
+		return fmt.Errorf("convert: -in, -name and -vertices are required")
+	}
+	opts := tile.ConvertOptions{
+		TileBits: *tileBits,
+		GroupQ:   uint32(*groupQ),
+		Symmetry: !*noSym,
+		SNB:      !*noSNB,
+		Degrees:  true,
+	}
+	g, err := tile.ConvertEdgeListFile(*in, uint32(*vertices), *directed, *dir, *name, opts)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	fmt.Printf("converted %s: %d vertices, %d stored tuples, %s data + %s start-edge\n",
+		*name, g.Meta.NumVertices, g.Meta.NumStored,
+		report.Bytes(g.DataBytes()), report.Bytes(g.StartBytes()))
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	path := fs.String("graph", "", "graph base path (dir/name)")
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("info: -graph is required")
+	}
+	g, err := gstore.Open(*path)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	m := g.Meta
+	fmt.Printf("name:        %s\n", m.Name)
+	fmt.Printf("vertices:    %d\n", m.NumVertices)
+	fmt.Printf("stored:      %d tuples (%d original edges)\n", m.NumStored, m.NumOriginal)
+	fmt.Printf("tile width:  2^%d (%d tiles/side, %d stored tiles)\n",
+		m.TileBits, g.Layout.P, g.Layout.NumTiles())
+	fmt.Printf("groups:      %dx%d tiles\n", m.GroupQ, m.GroupQ)
+	fmt.Printf("directed:    %v   half-stored: %v   snb: %v\n", m.Directed, m.Half, m.SNB)
+	fmt.Printf("data:        %s (+%s start-edge)\n",
+		report.Bytes(g.DataBytes()), report.Bytes(g.StartBytes()))
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	path := fs.String("graph", "", "graph base path (dir/name)")
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("verify: -graph is required")
+	}
+	g, err := gstore.Open(*path)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	if err := tile.Verify(g); err != nil {
+		return err
+	}
+	fmt.Printf("%s: OK (%d tiles, %d tuples, %s)\n",
+		*path, g.Layout.NumTiles(), g.Meta.NumStored, report.Bytes(g.DataBytes()))
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	path := fs.String("graph", "", "graph base path (dir/name)")
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("stats: -graph is required")
+	}
+	g, err := gstore.Open(*path)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	st := tile.CollectStats(g)
+	tb := report.New("tile statistics for "+*path, "metric", "value")
+	tb.Row("tiles", st.Tiles)
+	tb.Row("empty tiles", fmt.Sprintf("%d (%.1f%%)", st.EmptyTiles,
+		100*float64(st.EmptyTiles)/float64(st.Tiles)))
+	tb.Row("tiles < 1000 tuples", st.EmptyTiles+st.TilesUnder1K)
+	tb.Row("tiles > 100000 tuples", st.Over100K)
+	tb.Row("largest tile (tuples)", st.MaxTuples)
+	tb.Row("total tuples", st.TotalTuples)
+	tb.Row("physical groups", st.Groups)
+	tb.Row("smallest group (tuples)", st.MinGroup)
+	tb.Row("largest group (tuples)", st.MaxGroup)
+	tb.Row("data size", report.Bytes(st.DataBytes))
+	tb.Fprint(os.Stdout)
+	return nil
+}
+
+func engineFlags(fs *flag.FlagSet) func() core.Options {
+	mem := fs.Int64("memory", 0, "streaming+caching memory in bytes (default graph/4)")
+	seg := fs.Int64("segment", 0, "segment size in bytes (default memory/8)")
+	threads := fs.Int("threads", 0, "worker threads")
+	disks := fs.Int("disks", 8, "simulated SSD count")
+	bw := fs.Float64("bandwidth", 0, "per-disk bandwidth in bytes/s (0 = unthrottled)")
+	policy := fs.String("cache", "proactive", "cache policy: proactive, lru, none")
+	sync := fs.Bool("syncio", false, "use synchronous reads instead of batched AIO")
+	trace := fs.Bool("trace", false, "print one diagnostic line per iteration")
+	return func() core.Options {
+		o := core.DefaultOptions()
+		if *mem > 0 {
+			o.MemoryBytes = *mem
+		}
+		if *seg > 0 {
+			o.SegmentSize = *seg
+		} else {
+			o.SegmentSize = o.MemoryBytes / 8
+		}
+		if *threads > 0 {
+			o.Threads = *threads
+		}
+		o.Disks = *disks
+		o.Bandwidth = *bw
+		o.SyncIO = *sync
+		if *trace {
+			o.Trace = os.Stderr
+		}
+		switch *policy {
+		case "lru":
+			o.Cache = core.CacheLRU
+		case "none":
+			o.Cache = core.CacheNone
+		default:
+			o.Cache = core.CacheProactive
+		}
+		return o
+	}
+}
+
+func cmdRun(alg string, args []string) error {
+	fs := flag.NewFlagSet(alg, flag.ExitOnError)
+	path := fs.String("graph", "", "graph base path (dir/name)")
+	root := fs.Uint64("root", 0, "BFS root vertex")
+	iters := fs.Int("iters", 10, "PageRank iterations")
+	topN := fs.Int("top", 5, "results to print")
+	opts := engineFlags(fs)
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("%s: -graph is required", alg)
+	}
+	g, err := gstore.Open(*path)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	o := opts()
+	if fs.Lookup("memory").Value.String() == "0" {
+		// Default to the paper's semi-external regime: a quarter of the
+		// graph's data size, an eighth of that per segment.
+		o.MemoryBytes = g.DataBytes() / 4
+		if o.MemoryBytes < 1<<20 {
+			o.MemoryBytes = 1 << 20
+		}
+		if fs.Lookup("segment").Value.String() == "0" {
+			o.SegmentSize = o.MemoryBytes / 8
+		}
+	}
+	e, err := core.NewEngine(g, o)
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+
+	var st *core.Stats
+	switch alg {
+	case "bfs", "asyncbfs":
+		var run interface {
+			algo.Algorithm
+			Depths() []int32
+		}
+		if alg == "bfs" {
+			run = algo.NewBFS(uint32(*root))
+		} else {
+			run = algo.NewAsyncBFS(uint32(*root))
+		}
+		if st, err = e.Run(run); err != nil {
+			return err
+		}
+		reached := 0
+		maxDepth := int32(-1)
+		for _, d := range run.Depths() {
+			if d >= 0 {
+				reached++
+				if d > maxDepth {
+					maxDepth = d
+				}
+			}
+		}
+		fmt.Printf("%s: reached %d of %d vertices, max depth %d, %.1f MTEPS\n",
+			alg, reached, g.Meta.NumVertices, maxDepth, st.MTEPS(2*g.Meta.NumOriginal))
+	case "pagerank":
+		p := algo.NewPageRank(*iters)
+		if st, err = e.Run(p); err != nil {
+			return err
+		}
+		type vr struct {
+			v uint32
+			r float64
+		}
+		ranks := p.Ranks()
+		top := make([]vr, 0, len(ranks))
+		for v, r := range ranks {
+			top = append(top, vr{uint32(v), r})
+		}
+		sort.Slice(top, func(i, j int) bool { return top[i].r > top[j].r })
+		if len(top) > *topN {
+			top = top[:*topN]
+		}
+		fmt.Printf("pagerank: %d iterations, top vertices:\n", st.Iterations)
+		for _, t := range top {
+			fmt.Printf("  v%-10d %.6g\n", t.v, t.r)
+		}
+	case "wcc", "scc":
+		var run interface {
+			algo.Algorithm
+			Labels() []uint32
+		}
+		if alg == "wcc" {
+			run = algo.NewWCC()
+		} else {
+			run = algo.NewSCC()
+		}
+		if st, err = e.Run(run); err != nil {
+			return err
+		}
+		comps := map[uint32]int{}
+		for _, l := range run.Labels() {
+			comps[l]++
+		}
+		largest := 0
+		for _, n := range comps {
+			if n > largest {
+				largest = n
+			}
+		}
+		fmt.Printf("%s: %d components, largest has %d vertices\n", alg, len(comps), largest)
+	}
+	fmt.Printf("time %v  iterations %d  read %s in %d requests  cache hits %d/%d tiles\n",
+		st.Elapsed.Round(1e6), st.Iterations, report.Bytes(st.BytesRead),
+		st.IORequests, st.TilesFromCache, st.TilesProcessed)
+	return nil
+}

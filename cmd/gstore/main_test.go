@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIEndToEnd builds the gstore and gengraph binaries and drives the
+// full command-line workflow: generate -> convert -> verify -> stats ->
+// run every algorithm.
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	gstoreBin := filepath.Join(dir, "gstore")
+	gengraphBin := filepath.Join(dir, "gengraph")
+	build := exec.Command("go", "build", "-o", gstoreBin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building gstore: %v\n%s", err, out)
+	}
+	build = exec.Command("go", "build", "-o", gengraphBin, "../gengraph")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building gengraph: %v\n%s", err, out)
+	}
+
+	run := func(bin string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, out)
+		}
+		return string(out)
+	}
+
+	out := run(gengraphBin, "-kind", "kron", "-scale", "11", "-edgefactor", "8",
+		"-seed", "5", "-out", "k.bin")
+	if !strings.Contains(out, "wrote 16384 edges") {
+		t.Fatalf("gengraph output: %s", out)
+	}
+
+	out = run(gstoreBin, "convert", "-in", "k.bin", "-vertices", "2048",
+		"-dir", ".", "-name", "k", "-tilebits", "6", "-groupq", "4")
+	if !strings.Contains(out, "converted k") {
+		t.Fatalf("convert output: %s", out)
+	}
+
+	out = run(gstoreBin, "info", "-graph", "./k")
+	if !strings.Contains(out, "vertices:    2048") {
+		t.Fatalf("info output: %s", out)
+	}
+
+	out = run(gstoreBin, "verify", "-graph", "./k")
+	if !strings.Contains(out, "OK") {
+		t.Fatalf("verify output: %s", out)
+	}
+
+	out = run(gstoreBin, "stats", "-graph", "./k")
+	if !strings.Contains(out, "total tuples") {
+		t.Fatalf("stats output: %s", out)
+	}
+
+	for _, alg := range []string{"bfs", "asyncbfs"} {
+		out = run(gstoreBin, alg, "-graph", "./k", "-root", "0")
+		if !strings.Contains(out, "reached") {
+			t.Fatalf("%s output: %s", alg, out)
+		}
+	}
+	out = run(gstoreBin, "pagerank", "-graph", "./k", "-iters", "3")
+	if !strings.Contains(out, "top vertices") {
+		t.Fatalf("pagerank output: %s", out)
+	}
+	out = run(gstoreBin, "wcc", "-graph", "./k")
+	if !strings.Contains(out, "components") {
+		t.Fatalf("wcc output: %s", out)
+	}
+
+	// A directed graph for scc.
+	run(gengraphBin, "-kind", "twitter", "-scale", "10", "-edgefactor", "4",
+		"-seed", "6", "-out", "d.bin")
+	run(gstoreBin, "convert", "-in", "d.bin", "-vertices", "1024", "-directed",
+		"-dir", ".", "-name", "d", "-tilebits", "5", "-groupq", "4")
+	out = run(gstoreBin, "scc", "-graph", "./d")
+	if !strings.Contains(out, "components") {
+		t.Fatalf("scc output: %s", out)
+	}
+
+	// Unknown subcommand must fail.
+	cmd := exec.Command(gstoreBin, "nonsense")
+	if err := cmd.Run(); err == nil {
+		t.Fatal("unknown subcommand succeeded")
+	}
+}
+
+// TestMainUsage covers the usage path without spawning processes.
+func TestMainUsage(t *testing.T) {
+	// usage writes to stderr; just ensure it doesn't panic.
+	old := os.Stderr
+	defer func() { os.Stderr = old }()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Skip("no /dev/null")
+	}
+	defer devnull.Close()
+	os.Stderr = devnull
+	usage()
+}

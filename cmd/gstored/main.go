@@ -1,0 +1,74 @@
+// Command gstored serves converted graphs over HTTP: a long-running
+// G-Store process answering BFS / PageRank / components queries with the
+// slide-cache-rewind engine.
+//
+// Usage:
+//
+//	gstored -listen :8080 -graph social=data/twitter -graph web=data/crawl
+//
+// Endpoints: GET /healthz, GET /graphs, GET /graphs/{name},
+// POST /graphs/{name}/{bfs|msbfs|pagerank|wcc|scc}.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"github.com/gwu-systems/gstore/internal/core"
+	"github.com/gwu-systems/gstore/internal/server"
+)
+
+type graphFlags []string
+
+func (g *graphFlags) String() string { return strings.Join(*g, ",") }
+func (g *graphFlags) Set(v string) error {
+	*g = append(*g, v)
+	return nil
+}
+
+func main() {
+	var graphs graphFlags
+	listen := flag.String("listen", ":8080", "listen address")
+	mem := flag.Int64("memory", 64<<20, "per-graph streaming+caching memory in bytes")
+	seg := flag.Int64("segment", 0, "segment size in bytes (default memory/8)")
+	threads := flag.Int("threads", 0, "worker threads per graph")
+	disks := flag.Int("disks", 8, "simulated SSD count")
+	bw := flag.Float64("bandwidth", 0, "per-disk bandwidth in bytes/s (0 = unthrottled)")
+	flag.Var(&graphs, "graph", "name=basePath of a converted graph (repeatable)")
+	flag.Parse()
+
+	if len(graphs) == 0 {
+		log.Fatal("gstored: at least one -graph name=path is required")
+	}
+
+	srv := server.New()
+	defer srv.Close()
+	for _, spec := range graphs {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("gstored: bad -graph %q, want name=path", spec)
+		}
+		opts := core.DefaultOptions()
+		opts.MemoryBytes = *mem
+		if *seg > 0 {
+			opts.SegmentSize = *seg
+		} else {
+			opts.SegmentSize = opts.MemoryBytes / 8
+		}
+		if *threads > 0 {
+			opts.Threads = *threads
+		}
+		opts.Disks = *disks
+		opts.Bandwidth = *bw
+		if err := srv.AddGraph(name, path, opts); err != nil {
+			log.Fatalf("gstored: loading %s: %v", spec, err)
+		}
+		fmt.Printf("loaded %s from %s\n", name, path)
+	}
+
+	fmt.Printf("gstored listening on %s\n", *listen)
+	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+}

@@ -1,0 +1,3 @@
+module github.com/gwu-systems/gstore
+
+go 1.22

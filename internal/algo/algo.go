@@ -1,0 +1,86 @@
+// Package algo implements the three graph algorithms of the paper's
+// evaluation (§II-B) as tile kernels: breadth-first search, PageRank and
+// weakly connected components. Each algorithm exposes the metadata hooks
+// the engine needs for selective fetching (§V-B) and proactive caching
+// (§VI-C): which tiles it needs this iteration and which it predicts it
+// will need next iteration.
+package algo
+
+import (
+	"fmt"
+
+	"github.com/gwu-systems/gstore/internal/grid"
+	"github.com/gwu-systems/gstore/internal/tile"
+)
+
+// Context is what the engine hands an algorithm at initialization.
+type Context struct {
+	NumVertices uint32
+	Layout      *grid.Layout
+	Directed    bool
+	// Half reports upper-triangle (symmetry) storage: kernels must then
+	// process every tuple in both directions (Algorithm 1 in the paper).
+	Half bool
+	// SNB reports the tuple encoding of the data handed to ProcessTile.
+	SNB bool
+	// Degrees supplies vertex degrees; nil unless the graph was converted
+	// with degree output. PageRank requires it.
+	Degrees tile.DegreeSource
+}
+
+func (c *Context) validate() error {
+	if c.NumVertices == 0 || c.Layout == nil {
+		return fmt.Errorf("algo: incomplete context")
+	}
+	return nil
+}
+
+// Algorithm is the engine-facing interface of a tile kernel.
+//
+// The engine guarantees: Init once; then for each iteration a
+// BeforeIteration call, any number of concurrent ProcessTile calls (from
+// multiple goroutines), then one AfterIteration call. NeedTileThisIter is
+// only called between AfterIteration and the next iteration's processing;
+// NeedTileNextIter may be called concurrently with ProcessTile (it reads
+// partially accumulated next-iteration metadata, which is exactly the
+// paper's "partial information" caching, §VI-C Rule 2).
+type Algorithm interface {
+	// Name is a short identifier ("bfs", "pagerank", "wcc").
+	Name() string
+	// Init allocates algorithmic metadata.
+	Init(ctx *Context) error
+	// BeforeIteration prepares iteration iter (0-based).
+	BeforeIteration(iter int)
+	// ProcessTile consumes the tuples of tile (row, col). data holds
+	// whole tuples in the encoding announced by Context.SNB. Safe for
+	// concurrent invocation on distinct tiles.
+	ProcessTile(row, col uint32, data []byte)
+	// AfterIteration finishes iteration iter and reports convergence.
+	AfterIteration(iter int) (done bool)
+	// NeedTileThisIter reports whether tile (row, col) must be processed
+	// in the upcoming iteration (selective fetching).
+	NeedTileThisIter(row, col uint32) bool
+	// NeedTileNextIter predicts whether the tile will be needed in the
+	// following iteration (proactive caching). May be conservative.
+	NeedTileNextIter(row, col uint32) bool
+	// MetadataBytes reports the memory the algorithm's metadata occupies
+	// (the paper's Table III memory accounting).
+	MetadataBytes() int64
+}
+
+// decodeLoop iterates tuples of a tile without a closure per edge.
+// Kernels inline their own loops for the hot path; this helper is used by
+// tests and non-critical paths.
+func decodeLoop(snb bool, rowBase, colBase uint32, data []byte, fn func(src, dst uint32)) {
+	if snb {
+		for i := 0; i+tile.SNBTupleBytes <= len(data); i += tile.SNBTupleBytes {
+			s, d := tile.GetSNB(data[i:])
+			fn(rowBase+uint32(s), colBase+uint32(d))
+		}
+		return
+	}
+	for i := 0; i+tile.RawTupleBytes <= len(data); i += tile.RawTupleBytes {
+		s, d := tile.GetRaw(data[i:])
+		fn(s, d)
+	}
+}

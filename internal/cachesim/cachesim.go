@@ -1,0 +1,158 @@
+// Package cachesim implements a set-associative last-level-cache
+// simulator. The paper measures LLC transactions and misses with hardware
+// performance counters to justify the physical-group size (Figures 11 and
+// 12); this reproduction substitutes a software cache model driven by the
+// same metadata access stream the PageRank kernel produces, which captures
+// the locality property those figures demonstrate.
+package cachesim
+
+import "fmt"
+
+// Config describes the simulated cache geometry.
+type Config struct {
+	// SizeBytes is the total capacity (e.g. 16 MiB for the paper's Xeon
+	// E5-2683 LLC).
+	SizeBytes int64
+	// LineBytes is the cache line size (64 on x86).
+	LineBytes int64
+	// Ways is the set associativity.
+	Ways int
+}
+
+// DefaultLLC models the paper's 16 MB LLC.
+func DefaultLLC() Config {
+	return Config{SizeBytes: 16 << 20, LineBytes: 64, Ways: 16}
+}
+
+// Stats counts cache events. An "operation" is one load or store reaching
+// the cache (the paper's "LLC Operations (Load/Store)"), a miss is an
+// operation that had to go to memory.
+type Stats struct {
+	Ops    int64
+	Misses int64
+	// Evictions counts replaced valid lines.
+	Evictions int64
+}
+
+// MissRatio returns Misses/Ops (zero when idle).
+func (s Stats) MissRatio() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Ops)
+}
+
+// Cache is a set-associative cache with true-LRU replacement per set.
+// It is not safe for concurrent use; simulations drive one Cache per
+// worker and merge Stats.
+type Cache struct {
+	cfg      Config
+	sets     int64
+	lineBits uint
+	// tags[set*ways+way]; age[set*ways+way] holds an LRU timestamp.
+	tags  []uint64
+	valid []bool
+	age   []uint64
+	clock uint64
+	stats Stats
+}
+
+// New builds a cache. The geometry must divide evenly into at least one
+// set.
+func New(cfg Config) (*Cache, error) {
+	if cfg.LineBytes <= 0 || cfg.SizeBytes <= 0 || cfg.Ways <= 0 {
+		return nil, fmt.Errorf("cachesim: non-positive geometry %+v", cfg)
+	}
+	if cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		return nil, fmt.Errorf("cachesim: line size %d not a power of two", cfg.LineBytes)
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	sets := lines / int64(cfg.Ways)
+	if sets == 0 {
+		return nil, fmt.Errorf("cachesim: %d B cache too small for %d-way %d B lines",
+			cfg.SizeBytes, cfg.Ways, cfg.LineBytes)
+	}
+	lb := uint(0)
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		lb++
+	}
+	n := sets * int64(cfg.Ways)
+	return &Cache{
+		cfg: cfg, sets: sets, lineBits: lb,
+		tags:  make([]uint64, n),
+		valid: make([]bool, n),
+		age:   make([]uint64, n),
+	}, nil
+}
+
+// Access simulates one load or store of the byte at addr and reports
+// whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.stats.Ops++
+	c.clock++
+	line := addr >> c.lineBits
+	set := int64(line % uint64(c.sets))
+	base := set * int64(c.cfg.Ways)
+	// Hit?
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[base+int64(w)] && c.tags[base+int64(w)] == line {
+			c.age[base+int64(w)] = c.clock
+			return true
+		}
+	}
+	c.stats.Misses++
+	// Fill: invalid way first, else LRU.
+	victim := base
+	oldest := uint64(1<<64 - 1)
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + int64(w)
+		if !c.valid[i] {
+			victim = i
+			oldest = 0
+			break
+		}
+		if c.age[i] < oldest {
+			oldest = c.age[i]
+			victim = i
+		}
+	}
+	if c.valid[victim] {
+		c.stats.Evictions++
+	}
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.age[victim] = c.clock
+	return false
+}
+
+// AccessRange touches every cache line in [addr, addr+n).
+func (c *Cache) AccessRange(addr uint64, n int64) {
+	if n <= 0 {
+		return
+	}
+	line := int64(c.cfg.LineBytes)
+	first := int64(addr) &^ (line - 1)
+	last := (int64(addr) + n - 1) &^ (line - 1)
+	for a := first; a <= last; a += line {
+		c.Access(uint64(a))
+	}
+}
+
+// Stats returns the counters so far.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}
+
+// Merge adds other's counters into s.
+func (s *Stats) Merge(other Stats) {
+	s.Ops += other.Ops
+	s.Misses += other.Misses
+	s.Evictions += other.Evictions
+}

@@ -1,0 +1,201 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 64, Ways: 4},
+		{SizeBytes: 1024, LineBytes: 0, Ways: 4},
+		{SizeBytes: 1024, LineBytes: 64, Ways: 0},
+		{SizeBytes: 1024, LineBytes: 63, Ways: 4}, // non power of two
+		{SizeBytes: 128, LineBytes: 64, Ways: 4},  // fewer lines than ways
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: config %+v accepted", i, cfg)
+		}
+	}
+	if _, err := New(DefaultLLC()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHitMissBasics(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 4096, LineBytes: 64, Ways: 4})
+	if c.Access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Fatal("warm access missed")
+	}
+	if !c.Access(63) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(64) {
+		t.Fatal("next-line cold access hit")
+	}
+	st := c.Stats()
+	if st.Ops != 4 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2 sets, 2 ways, 64B lines => lines mapping to set 0: 0, 128, 256...
+	c := mustNew(t, Config{SizeBytes: 256, LineBytes: 64, Ways: 2})
+	c.Access(0)   // set0 way0
+	c.Access(128) // set0 way1
+	c.Access(0)   // touch 0 -> 128 becomes LRU
+	c.Access(256) // evicts 128
+	if !c.Access(0) {
+		t.Fatal("line 0 was evicted despite being MRU")
+	}
+	if c.Access(128) {
+		t.Fatal("line 128 should have been evicted")
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("no evictions counted")
+	}
+}
+
+func TestWorkingSetFits(t *testing.T) {
+	// A working set equal to the cache size must have only cold misses.
+	cfg := Config{SizeBytes: 1 << 16, LineBytes: 64, Ways: 8}
+	c := mustNew(t, cfg)
+	lines := cfg.SizeBytes / cfg.LineBytes
+	for round := 0; round < 10; round++ {
+		for i := int64(0); i < lines; i++ {
+			c.Access(uint64(i * cfg.LineBytes))
+		}
+	}
+	st := c.Stats()
+	if st.Misses != lines {
+		t.Fatalf("misses = %d, want %d cold misses only", st.Misses, lines)
+	}
+}
+
+func TestWorkingSetThrashes(t *testing.T) {
+	// A working set 2x the cache with cyclic access under LRU misses
+	// every time.
+	cfg := Config{SizeBytes: 1 << 12, LineBytes: 64, Ways: 4}
+	c := mustNew(t, cfg)
+	lines := 2 * cfg.SizeBytes / cfg.LineBytes
+	for round := 0; round < 4; round++ {
+		for i := int64(0); i < lines; i++ {
+			c.Access(uint64(i * cfg.LineBytes))
+		}
+	}
+	st := c.Stats()
+	if st.Misses != st.Ops {
+		t.Fatalf("cyclic thrash should miss always: %+v", st)
+	}
+}
+
+func TestAccessRange(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 1 << 12, LineBytes: 64, Ways: 4})
+	c.AccessRange(10, 100) // bytes 10..109 span lines 0 and 1
+	if got := c.Stats().Ops; got != 2 {
+		t.Fatalf("ops = %d, want 2", got)
+	}
+	c.AccessRange(0, 0)
+	c.AccessRange(5, -3)
+	if got := c.Stats().Ops; got != 2 {
+		t.Fatalf("empty ranges touched the cache: ops = %d", got)
+	}
+	c.AccessRange(64, 64) // exactly line 1
+	if got := c.Stats().Ops; got != 3 {
+		t.Fatalf("ops = %d, want 3", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 1 << 12, LineBytes: 64, Ways: 4})
+	c.Access(0)
+	c.Reset()
+	if st := c.Stats(); st.Ops != 0 || st.Misses != 0 {
+		t.Fatalf("stats after reset: %+v", st)
+	}
+	if c.Access(0) {
+		t.Fatal("hit after reset")
+	}
+}
+
+func TestMissRatioAndMerge(t *testing.T) {
+	var s Stats
+	if s.MissRatio() != 0 {
+		t.Fatal("idle miss ratio non-zero")
+	}
+	s.Merge(Stats{Ops: 10, Misses: 5, Evictions: 1})
+	s.Merge(Stats{Ops: 10, Misses: 0})
+	if s.Ops != 20 || s.Misses != 5 || s.Evictions != 1 {
+		t.Fatalf("merged = %+v", s)
+	}
+	if s.MissRatio() != 0.25 {
+		t.Fatalf("MissRatio = %v", s.MissRatio())
+	}
+}
+
+// Property: misses never exceed ops, and repeating the same trace twice
+// can only increase the hit count of the second pass (warm cache).
+func TestQuickWarmBeatsColdOnRepeat(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		if len(addrs) == 0 {
+			return true
+		}
+		c, err := New(Config{SizeBytes: 1 << 14, LineBytes: 64, Ways: 8})
+		if err != nil {
+			return false
+		}
+		for _, a := range addrs {
+			c.Access(uint64(a))
+		}
+		first := c.Stats()
+		if first.Misses > first.Ops {
+			return false
+		}
+		for _, a := range addrs {
+			c.Access(uint64(a))
+		}
+		second := c.Stats()
+		secondMisses := second.Misses - first.Misses
+		return secondMisses <= first.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sequential streaming of N lines produces exactly
+// ceil(span/line) operations via AccessRange.
+func TestQuickAccessRangeCount(t *testing.T) {
+	f := func(rawAddr uint16, rawLen uint16) bool {
+		c, err := New(Config{SizeBytes: 1 << 14, LineBytes: 64, Ways: 8})
+		if err != nil {
+			return false
+		}
+		addr := uint64(rawAddr)
+		n := int64(rawLen)
+		c.AccessRange(addr, n)
+		if n <= 0 {
+			return c.Stats().Ops == 0
+		}
+		first := int64(addr) / 64
+		last := (int64(addr) + n - 1) / 64
+		return c.Stats().Ops == last-first+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,470 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/gwu-systems/gstore/internal/algo"
+	"github.com/gwu-systems/gstore/internal/mem"
+	"github.com/gwu-systems/gstore/internal/storage"
+	"github.com/gwu-systems/gstore/internal/tile"
+)
+
+// Engine runs tile algorithms over an on-disk graph with the SCR
+// scheduler: it slides segment-sized batched reads over the needed tiles,
+// overlapping I/O with processing; retires processed segments into the
+// cache pool under the configured policy; and rewinds each iteration to
+// consume the pool before issuing any I/O (Figure 8).
+type Engine struct {
+	g     *tile.Graph
+	opts  Options
+	array storage.Device
+	mm    *mem.Manager
+
+	work chan workItem
+	wg   sync.WaitGroup
+	alg  algo.Algorithm
+}
+
+type workItem struct {
+	row, col uint32
+	data     []byte
+	done     *sync.WaitGroup
+}
+
+// NewEngine creates an engine over g. The engine owns a storage array on
+// the graph's tiles file and a memory manager sized by opts; Close
+// releases both.
+func NewEngine(g *tile.Graph, opts Options) (*Engine, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	// Every tile must fit in one segment, or it could never be staged.
+	// (The paper's 256 MB segments comfortably exceed its tile sizes on
+	// the evaluated graphs.) If the configured segments are too small but
+	// the memory budget allows, grow them to the largest tile.
+	maxTile := int64(0)
+	for i := 0; i < g.Layout.NumTiles(); i++ {
+		if _, n := g.TileByteRange(i); n > maxTile {
+			maxTile = n
+		}
+	}
+	if maxTile > opts.SegmentSize {
+		if 2*maxTile > opts.MemoryBytes {
+			return nil, fmt.Errorf("core: largest tile is %d bytes but the memory budget is %d; need at least two tile-sized segments",
+				maxTile, opts.MemoryBytes)
+		}
+		opts.SegmentSize = maxTile
+	}
+	var array storage.Device
+	array, err := storage.NewArray(g.TilesFile(), storage.Options{
+		NumDisks:   opts.Disks,
+		StripeSize: opts.StripeSize,
+		Bandwidth:  opts.Bandwidth,
+		Latency:    opts.Latency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opts.HDD != nil && opts.HDD.Fraction > 0 {
+		// Tiered store (paper §IX, future work): the trailing fraction of
+		// the tiles file lives on simulated hard drives.
+		slow, err := storage.NewArray(g.TilesFile(), storage.Options{
+			NumDisks:   opts.HDD.Disks,
+			StripeSize: opts.StripeSize,
+			Bandwidth:  opts.HDD.Bandwidth,
+			Latency:    opts.HDD.Latency,
+		})
+		if err != nil {
+			array.Close()
+			return nil, err
+		}
+		boundary := int64(float64(g.DataBytes()) * (1 - opts.HDD.Fraction))
+		tiered, err := storage.NewTiered(array, slow, boundary)
+		if err != nil {
+			array.Close()
+			slow.Close()
+			return nil, err
+		}
+		array = tiered
+	}
+	mman, err := mem.NewManager(opts.MemoryBytes, opts.SegmentSize)
+	if err != nil {
+		array.Close()
+		return nil, err
+	}
+	e := &Engine{g: g, opts: opts, array: array, mm: mman}
+	e.work = make(chan workItem, opts.Threads*2)
+	for i := 0; i < opts.Threads; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e, nil
+}
+
+// Close stops the workers and the storage array. The engine must not be
+// running.
+func (e *Engine) Close() {
+	if e.work != nil {
+		close(e.work)
+		e.wg.Wait()
+		e.work = nil
+	}
+	if e.array != nil {
+		e.array.Close()
+		e.array = nil
+	}
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for item := range e.work {
+		e.alg.ProcessTile(item.row, item.col, item.data)
+		item.done.Done()
+	}
+}
+
+// Run executes a on the graph until convergence and returns statistics.
+func (e *Engine) Run(a algo.Algorithm) (*Stats, error) {
+	var degrees tile.DegreeSource
+	if e.g.Meta.DegreeFormat != "" {
+		var err error
+		degrees, err = e.g.Degrees()
+		if err != nil {
+			return nil, err
+		}
+	}
+	ctx := &algo.Context{
+		NumVertices: e.g.Meta.NumVertices,
+		Layout:      e.g.Layout,
+		Directed:    e.g.Meta.Directed,
+		Half:        e.g.Meta.Half,
+		SNB:         e.g.Meta.SNB,
+		Degrees:     degrees,
+	}
+	if err := a.Init(ctx); err != nil {
+		return nil, err
+	}
+	e.alg = a
+	e.mm.Clear()
+
+	stats := &Stats{Algorithm: a.Name()}
+	startStorage := e.array.Stats()
+	begin := time.Now()
+
+	for iter := 0; iter < e.opts.MaxIterations; iter++ {
+		a.BeforeIteration(iter)
+		before := *stats
+		beforeIO := e.array.Stats()
+		if err := e.runIteration(a, stats); err != nil {
+			return nil, err
+		}
+		stats.Iterations = iter + 1
+		done := a.AfterIteration(iter)
+		if e.opts.Trace != nil {
+			afterIO := e.array.Stats()
+			fmt.Fprintf(e.opts.Trace,
+				"%s iter=%d tiles=%d cached=%d skipped=%d read=%dB iowait=%v compute=%v pool=%d/%dB\n",
+				a.Name(), iter,
+				stats.TilesProcessed-before.TilesProcessed,
+				stats.TilesFromCache-before.TilesFromCache,
+				stats.TilesSkipped-before.TilesSkipped,
+				afterIO.BytesRead-beforeIO.BytesRead,
+				(stats.IOWait - before.IOWait).Round(time.Microsecond),
+				(stats.Compute - before.Compute).Round(time.Microsecond),
+				e.mm.PoolUsed(), e.mm.PoolCap())
+		}
+		if done {
+			break
+		}
+	}
+
+	stats.Elapsed = time.Since(begin)
+	stats.MetadataBytes = a.MetadataBytes()
+	stats.Mem = e.mm.Stats()
+	end := e.array.Stats()
+	stats.Storage = end
+	stats.BytesRead = end.BytesRead - startStorage.BytesRead
+	stats.IORequests = end.Requests - startStorage.Requests
+	return stats, nil
+}
+
+// runIteration performs one SCR iteration: selective-fetch planning,
+// rewind over the cache pool, then the slide over the remaining tiles.
+func (e *Engine) runIteration(a algo.Algorithm, stats *Stats) error {
+	layout := e.g.Layout
+	needed := make([]int, 0, layout.NumTiles())
+	for i := 0; i < layout.NumTiles(); i++ {
+		if e.g.TupleCount(i) == 0 {
+			continue
+		}
+		c := layout.CoordAt(i)
+		if e.opts.Selective && !a.NeedTileThisIter(c.Row, c.Col) {
+			stats.TilesSkipped++
+			continue
+		}
+		needed = append(needed, i)
+	}
+
+	// Rewind (§VI-D): process everything already cached before any I/O.
+	inCache := make(map[int]bool)
+	if e.opts.Cache != CacheNone && len(e.mm.CachedTiles()) > 0 {
+		var done sync.WaitGroup
+		cs := time.Now()
+		for _, ref := range e.mm.CachedTiles() {
+			if !containsSorted(needed, ref.DiskIdx) {
+				continue
+			}
+			inCache[ref.DiskIdx] = true
+			done.Add(1)
+			e.work <- workItem{row: ref.Row, col: ref.Col, data: ref.Data, done: &done}
+			stats.TilesProcessed++
+			stats.TilesFromCache++
+		}
+		done.Wait()
+		stats.Compute += time.Since(cs)
+	}
+
+	toFetch := needed[:0:0]
+	for _, di := range needed {
+		if !inCache[di] {
+			toFetch = append(toFetch, di)
+		}
+	}
+	return e.slide(a, toFetch, stats)
+}
+
+func containsSorted(sorted []int, x int) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		switch {
+		case sorted[mid] < x:
+			lo = mid + 1
+		case sorted[mid] > x:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// plannedTile is one tile's slot within a segment load.
+type plannedTile struct {
+	diskIdx  int
+	row, col uint32
+	bufOff   int64
+	n        int64
+}
+
+// segmentPlan is one segment's worth of tiles plus the contiguous byte
+// runs that load them. Gaps between runs come from selective fetching and
+// cache hits; all of a plan's runs are submitted as one AIO batch (§V-B:
+// "these I/Os would be merged into a single AIO system call").
+type segmentPlan struct {
+	tiles []plannedTile
+	runs  []run
+}
+
+type run struct {
+	fileOff int64
+	bufOff  int64
+	n       int64
+}
+
+// planSegments packs the tiles to fetch, in disk order, into
+// segment-sized plans.
+func (e *Engine) planSegments(toFetch []int) []*segmentPlan {
+	var plans []*segmentPlan
+	cur := &segmentPlan{}
+	var used int64
+	flush := func() {
+		if len(cur.tiles) > 0 {
+			plans = append(plans, cur)
+			cur = &segmentPlan{}
+			used = 0
+		}
+	}
+	for _, di := range toFetch {
+		off, n := e.g.TileByteRange(di)
+		if used+n > e.opts.SegmentSize {
+			flush()
+		}
+		c := e.g.Layout.CoordAt(di)
+		cur.tiles = append(cur.tiles, plannedTile{
+			diskIdx: di, row: c.Row, col: c.Col, bufOff: used, n: n,
+		})
+		if last := len(cur.runs) - 1; last >= 0 &&
+			cur.runs[last].fileOff+cur.runs[last].n == off &&
+			cur.runs[last].bufOff+cur.runs[last].n == used {
+			cur.runs[last].n += n
+		} else {
+			cur.runs = append(cur.runs, run{fileOff: off, bufOff: used, n: n})
+		}
+		used += n
+	}
+	flush()
+	return plans
+}
+
+// slide is the pipelined stream of Figure 8: one segment loads while the
+// other is processed; processed segments retire into the cache pool.
+func (e *Engine) slide(a algo.Algorithm, toFetch []int, stats *Stats) error {
+	plans := e.planSegments(toFetch)
+	if len(plans) == 0 {
+		return nil
+	}
+
+	type inflight struct {
+		seg  *mem.Segment
+		plan *segmentPlan
+		left int // outstanding runs
+	}
+	var queue []*inflight
+	next := 0
+
+	submit := func() error {
+		if next >= len(plans) {
+			return nil
+		}
+		s := e.mm.Acquire()
+		if s == nil {
+			return nil // both buffers busy; the loop resubmits later
+		}
+		p := plans[next]
+		next++
+		fl := &inflight{seg: s, plan: p, left: len(p.runs)}
+		qi := len(queue)
+		queue = append(queue, fl)
+		if e.opts.SyncIO {
+			ws := time.Now()
+			for _, r := range p.runs {
+				if err := e.array.ReadSync(r.fileOff, s.Buf[r.bufOff:r.bufOff+r.n]); err != nil {
+					return err
+				}
+			}
+			stats.IOWait += time.Since(ws)
+			fl.left = 0
+			return nil
+		}
+		reqs := make([]*storage.Request, len(p.runs))
+		for i, r := range p.runs {
+			reqs[i] = &storage.Request{
+				Offset: r.fileOff,
+				Buf:    s.Buf[r.bufOff : r.bufOff+r.n],
+				Tag:    int64(qi)<<32 | int64(i),
+			}
+		}
+		return e.array.Submit(reqs)
+	}
+
+	// Prime the double buffer: two loads in flight.
+	if err := submit(); err != nil {
+		return err
+	}
+	if err := submit(); err != nil {
+		return err
+	}
+
+	var comps []storage.Completion
+	for head := 0; head < len(queue); head++ {
+		fl := queue[head]
+		ws := time.Now()
+		for fl.left > 0 {
+			comps = e.array.Wait(1, comps[:0])
+			for _, c := range comps {
+				if c.Err != nil {
+					return fmt.Errorf("core: tile read failed: %w", c.Err)
+				}
+				queue[c.Tag>>32].left--
+			}
+		}
+		stats.IOWait += time.Since(ws)
+
+		// Register the loaded tiles and hand them to the workers; kick
+		// off the next load first so I/O overlaps compute (the slide).
+		refs := make([]mem.TileRef, len(fl.plan.tiles))
+		for i, pt := range fl.plan.tiles {
+			refs[i] = mem.TileRef{
+				DiskIdx: pt.diskIdx, Row: pt.row, Col: pt.col,
+				Data: fl.seg.Buf[pt.bufOff : pt.bufOff+pt.n],
+			}
+		}
+		fl.seg.SetTiles(refs)
+
+		if err := submit(); err != nil {
+			return err
+		}
+
+		var done sync.WaitGroup
+		cs := time.Now()
+		for _, ref := range refs {
+			done.Add(1)
+			e.work <- workItem{row: ref.Row, col: ref.Col, data: ref.Data, done: &done}
+		}
+		stats.TilesProcessed += int64(len(refs))
+		stats.TilesFetched += int64(len(refs))
+		done.Wait()
+		stats.Compute += time.Since(cs)
+
+		e.retire(a, fl.seg)
+		// Retiring freed a buffer; make sure the pipeline stays primed.
+		if err := submit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// retire moves a processed segment toward the cache pool according to the
+// configured policy.
+func (e *Engine) retire(a algo.Algorithm, s *mem.Segment) {
+	switch e.opts.Cache {
+	case CacheNone:
+		e.mm.Release(s)
+	case CacheLRU:
+		e.makeRoomLRU(segBytes(s))
+		e.mm.Retire(s, nil)
+	default: // CacheProactive
+		keep := func(ref mem.TileRef) bool {
+			return a.NeedTileNextIter(ref.Row, ref.Col)
+		}
+		if !e.mm.WouldFit(segBytes(s)) {
+			// Cache analysis happens when the pool is full (Figure 8,
+			// time Ti): evict tiles the algorithm will not need again.
+			e.mm.Evict(keep)
+		}
+		e.mm.Retire(s, keep)
+	}
+}
+
+// makeRoomLRU evicts oldest-first until need bytes fit.
+func (e *Engine) makeRoomLRU(need int64) {
+	if e.mm.WouldFit(need) {
+		return
+	}
+	freed := int64(0)
+	drop := 0
+	for _, ref := range e.mm.CachedTiles() {
+		if e.mm.PoolUsed()-freed+need <= e.mm.PoolCap() {
+			break
+		}
+		freed += int64(len(ref.Data))
+		drop++
+	}
+	i := 0
+	e.mm.Evict(func(mem.TileRef) bool {
+		i++
+		return i > drop
+	})
+}
+
+func segBytes(s *mem.Segment) int64 {
+	var n int64
+	for _, t := range s.Tiles() {
+		n += int64(len(t.Data))
+	}
+	return n
+}

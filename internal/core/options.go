@@ -1,0 +1,176 @@
+// Package core implements the G-Store engine: the slide-cache-rewind
+// (SCR) scheduler of §VI that pipelines tile I/O with computation,
+// proactively caches tiles the algorithm will need next iteration, and
+// rewinds each iteration to consume cached data before touching disk.
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/gwu-systems/gstore/internal/mem"
+	"github.com/gwu-systems/gstore/internal/storage"
+)
+
+// CachePolicy selects how the memory beyond the two streaming segments is
+// used. The paper's contribution is Proactive; None is the Figure 13
+// "base policy" (all memory in two big double-buffered segments); LRU is
+// the FlashGraph-style policy the paper argues against (§III
+// Observation 3).
+type CachePolicy int
+
+const (
+	// CacheProactive keeps tiles the algorithm predicts it needs next
+	// iteration and rewinds to process them before any I/O.
+	CacheProactive CachePolicy = iota
+	// CacheLRU keeps recently streamed tiles, evicting oldest-first.
+	CacheLRU
+	// CacheNone streams only; the cache pool stays empty.
+	CacheNone
+)
+
+func (p CachePolicy) String() string {
+	switch p {
+	case CacheProactive:
+		return "proactive"
+	case CacheLRU:
+		return "lru"
+	case CacheNone:
+		return "none"
+	default:
+		return fmt.Sprintf("CachePolicy(%d)", int(p))
+	}
+}
+
+// Options configures an engine run.
+type Options struct {
+	// MemoryBytes is the memory budget for streaming and caching graph
+	// data (the paper reserves 8 GB; experiments here scale it to the
+	// graph).
+	MemoryBytes int64
+	// SegmentSize is the size of each of the two streaming segments
+	// (paper: 256 MB).
+	SegmentSize int64
+	// Threads processes tiles concurrently (paper: OpenMP dynamic
+	// scheduling over rows). Defaults to GOMAXPROCS.
+	Threads int
+	// Selective enables metadata-driven selective tile fetching (§V-B).
+	Selective bool
+	// Cache selects the caching policy (see CachePolicy).
+	Cache CachePolicy
+	// MaxIterations bounds the run (safety net for non-converging input).
+	MaxIterations int
+	// SyncIO disables batched asynchronous I/O and reads tile runs
+	// one synchronous request at a time (the POSIX-I/O ablation).
+	SyncIO bool
+
+	// Storage simulation parameters (see internal/storage).
+	Disks      int
+	StripeSize int64
+	Bandwidth  float64
+	Latency    time.Duration
+
+	// HDD, when set with a positive Fraction, simulates the tiered store
+	// of the paper's future work (§IX): the trailing Fraction of the
+	// tiles file is served by a slower device.
+	HDD *HDDTier
+
+	// Trace, when non-nil, receives one diagnostic line per iteration
+	// (tiles processed / cached / skipped, bytes read, IO wait, compute).
+	Trace io.Writer
+}
+
+// HDDTier describes the slow tier of a tiered store.
+type HDDTier struct {
+	// Fraction of the tiles file (from the end) on the slow tier, 0..1.
+	Fraction float64
+	// Disks in the slow array.
+	Disks int
+	// Bandwidth per slow disk in bytes/second.
+	Bandwidth float64
+	// Latency per request (seek-dominated for hard drives).
+	Latency time.Duration
+}
+
+// DefaultOptions returns a configuration mirroring the paper's setup,
+// scaled for reproduction machines: 64 MB of streaming+caching memory
+// with 8 MB segments over an unthrottled 8-disk array.
+func DefaultOptions() Options {
+	return Options{
+		MemoryBytes:   64 << 20,
+		SegmentSize:   8 << 20,
+		Threads:       runtime.GOMAXPROCS(0),
+		Selective:     true,
+		Cache:         CacheProactive,
+		MaxIterations: 1 << 20,
+		Disks:         8,
+		StripeSize:    storage.DefaultStripeSize,
+	}
+}
+
+func (o *Options) normalize() error {
+	if o.Threads <= 0 {
+		o.Threads = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 1 << 20
+	}
+	if o.Disks <= 0 {
+		o.Disks = 1
+	}
+	if o.HDD != nil {
+		if o.HDD.Fraction < 0 || o.HDD.Fraction > 1 {
+			return fmt.Errorf("core: HDD tier fraction %v outside [0,1]", o.HDD.Fraction)
+		}
+		if o.HDD.Disks <= 0 {
+			o.HDD.Disks = 1
+		}
+	}
+	if o.Cache == CacheNone {
+		// Without a pool the whole budget belongs to the double buffer,
+		// as in the paper's base policy.
+		o.SegmentSize = o.MemoryBytes / 2
+	}
+	if o.SegmentSize <= 0 {
+		return fmt.Errorf("core: segment size %d must be positive", o.SegmentSize)
+	}
+	if o.MemoryBytes < 2*o.SegmentSize {
+		return fmt.Errorf("core: memory %d cannot hold two %d-byte segments",
+			o.MemoryBytes, o.SegmentSize)
+	}
+	return nil
+}
+
+// Stats reports one engine run.
+type Stats struct {
+	Algorithm  string
+	Iterations int
+	Elapsed    time.Duration
+	// IOWait is time the scheduler spent blocked on completions (I/O not
+	// hidden by the slide pipeline).
+	IOWait time.Duration
+	// Compute is time spent processing tiles.
+	Compute time.Duration
+
+	TilesProcessed int64
+	TilesFromCache int64
+	TilesFetched   int64
+	TilesSkipped   int64 // skipped by selective fetching
+	BytesRead      int64
+	IORequests     int64
+
+	MetadataBytes int64
+	Mem           mem.Stats
+	Storage       storage.Stats
+}
+
+// MTEPS returns millions of traversed edges per second given an edge
+// count (the Graph500 metric the paper reports for BFS).
+func (s Stats) MTEPS(edges int64) float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(edges) / s.Elapsed.Seconds() / 1e6
+}

@@ -1,0 +1,231 @@
+package exp
+
+import (
+	"time"
+
+	"github.com/gwu-systems/gstore/internal/algo"
+	"github.com/gwu-systems/gstore/internal/core"
+	"github.com/gwu-systems/gstore/internal/graph"
+	"github.com/gwu-systems/gstore/internal/report"
+	"github.com/gwu-systems/gstore/internal/tile"
+)
+
+// ExtTiered exercises the paper's future-work tiered store (§IX): part of
+// the tiles file is served by simulated hard drives. Performance should
+// degrade gracefully — not cliff — as the HDD share grows, because the
+// cache pool preferentially absorbs re-reads.
+func ExtTiered(c *Config) error {
+	c.Defaults()
+	tg, err := c.tileGraph("kron-main", c.kronCfg(), c.stdTileOpts())
+	if err != nil {
+		return err
+	}
+	defer tg.Close()
+	tb := report.New("Extension: tiered SSD+HDD store ("+c.kronCfg().Name()+")",
+		"HDD share", "PageRank", "slowdown vs all-SSD")
+	var base time.Duration
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75} {
+		o := c.diskOpts(tg)
+		if frac > 0 {
+			o.HDD = &core.HDDTier{
+				Fraction:  frac,
+				Disks:     2,
+				Bandwidth: 8 << 20, // ~HDD sequential share per spindle
+				Latency:   2 * time.Millisecond,
+			}
+		}
+		st, err := runEngine(tg, o, algo.NewPageRank(3))
+		if err != nil {
+			return err
+		}
+		if base == 0 {
+			base = st.Elapsed
+		}
+		tb.Row(int(frac*100), st.Elapsed, report.Ratio(float64(st.Elapsed), float64(base)))
+	}
+	tb.Fprint(c.Out)
+	return nil
+}
+
+// ExtRelabel measures degree-sorted vertex relabeling, the locality
+// preprocessing 2D-partitioned stores ship (cf. the locality-aware
+// placement the paper's grouping draws on, [34]): hubs renumber into the
+// lowest IDs, concentrating edges into fewer, denser tiles.
+func ExtRelabel(c *Config) error {
+	c.Defaults()
+	el, err := c.edgeList(c.twitterCfg())
+	if err != nil {
+		return err
+	}
+	relabeled, _ := graph.RelabelByDegree(el)
+
+	stats := func(label string, e *graph.EdgeList) (rowVals []interface{}, err error) {
+		dir, err := tempWorkDir(c, "relabel")
+		if err != nil {
+			return nil, err
+		}
+		opts := c.stdTileOpts()
+		opts.TileBits = c.tileBits()
+		opts.GroupQ = 8
+		tg, err := tile.Convert(e, dir, "g", opts)
+		if err != nil {
+			return nil, err
+		}
+		defer tg.Close()
+		empty, over1k := 0, 0
+		var maxTile, maxTileBytes int64
+		for i := 0; i < tg.Layout.NumTiles(); i++ {
+			n := tg.TupleCount(i)
+			switch {
+			case n == 0:
+				empty++
+			case n >= 1000:
+				over1k++
+			}
+			if n > maxTile {
+				maxTile = n
+			}
+			if _, b := tg.TileByteRange(i); b > maxTileBytes {
+				maxTileBytes = b
+			}
+		}
+		o := c.diskOpts(tg)
+		// Relabeling concentrates hubs into one giant tile; keep the
+		// budget able to double-buffer it.
+		if o.MemoryBytes < 3*maxTileBytes {
+			o.MemoryBytes = 3 * maxTileBytes
+		}
+		st, err := runEngine(tg, o, algo.NewPageRank(3))
+		if err != nil {
+			return nil, err
+		}
+		return []interface{}{label, empty, over1k, maxTile, st.Elapsed}, nil
+	}
+
+	tb := report.New("Extension: degree-sorted relabeling ("+c.twitterCfg().Name()+")",
+		"layout", "empty tiles", "tiles >= 1000 edges", "max tile", "PageRank(3)")
+	row, err := stats("original", el)
+	if err != nil {
+		return err
+	}
+	tb.Row(row...)
+	row, err = stats("degree-sorted", relabeled)
+	if err != nil {
+		return err
+	}
+	tb.Row(row...)
+	tb.Fprint(c.Out)
+	return nil
+}
+
+// ExtMSBFS measures the I/O sharing of concurrent multi-source BFS (the
+// paper's [22]): one tile stream serves many traversals, so the bytes
+// read stay near a single BFS while serving 16 sources.
+func ExtMSBFS(c *Config) error {
+	c.Defaults()
+	tg, err := c.tileGraph("kron-main", c.kronCfg(), c.stdTileOpts())
+	if err != nil {
+		return err
+	}
+	defer tg.Close()
+	o := c.diskOpts(tg)
+
+	roots := make([]uint32, 16)
+	for i := range roots {
+		roots[i] = uint32(i*1023) % tg.Meta.NumVertices
+	}
+	shared, err := runEngine(tg, o, algo.NewMSBFS(roots))
+	if err != nil {
+		return err
+	}
+	var indTime time.Duration
+	var indBytes int64
+	for _, r := range roots {
+		st, err := runEngine(tg, o, algo.NewBFS(r))
+		if err != nil {
+			return err
+		}
+		indTime += st.Elapsed
+		indBytes += st.BytesRead
+	}
+	tb := report.New("Extension: multi-source BFS I/O sharing ("+c.kronCfg().Name()+", 16 roots)",
+		"mode", "time", "bytes read", "speedup")
+	tb.Row("16 separate BFS", indTime, report.Bytes(indBytes), "1.00x")
+	tb.Row("one MSBFS", shared.Elapsed, report.Bytes(shared.BytesRead),
+		report.Speedup(indTime, shared.Elapsed))
+	tb.Fprint(c.Out)
+	return nil
+}
+
+// ExtSCC runs strongly connected components — the algorithm §IV-A singles
+// out as needing both edge directions — on the directed twitter-like
+// graph and reports components against WCC's weak components.
+func ExtSCC(c *Config) error {
+	c.Defaults()
+	tg, err := c.tileGraph("twitter-main", c.twitterCfg(), c.stdTileOpts())
+	if err != nil {
+		return err
+	}
+	defer tg.Close()
+	o := c.diskOpts(tg)
+	s := algo.NewSCC()
+	sst, err := runEngine(tg, o, s)
+	if err != nil {
+		return err
+	}
+	w := algo.NewWCC()
+	wst, err := runEngine(tg, o, w)
+	if err != nil {
+		return err
+	}
+	count := func(labels []uint32) (comps int, largest int) {
+		m := map[uint32]int{}
+		for _, l := range labels {
+			m[l]++
+		}
+		for _, n := range m {
+			if n > largest {
+				largest = n
+			}
+		}
+		return len(m), largest
+	}
+	sc, sl := count(s.Labels())
+	wc, wl := count(w.Labels())
+	tb := report.New("Extension: SCC vs WCC ("+c.twitterCfg().Name()+")",
+		"algorithm", "components", "largest", "iterations", "time", "bytes read")
+	tb.Row("SCC", sc, sl, sst.Iterations, sst.Elapsed, report.Bytes(sst.BytesRead))
+	tb.Row("WCC", wc, wl, wst.Iterations, wst.Elapsed, report.Bytes(wst.BytesRead))
+	tb.Fprint(c.Out)
+	return nil
+}
+
+// ExtAsyncBFS compares level-synchronous BFS with the asynchronous
+// (label-correcting) variant the paper cites ([26]): fewer full passes at
+// more per-pass work, a win when passes are I/O-priced.
+func ExtAsyncBFS(c *Config) error {
+	c.Defaults()
+	tb := report.New("Extension: synchronous vs asynchronous BFS",
+		"graph", "variant", "iterations", "time", "bytes read", "speedup")
+	for _, w := range c.workloads()[:3] {
+		tg, err := c.tileGraph("async-"+w.Name, w.Cfg, c.stdTileOpts())
+		if err != nil {
+			return err
+		}
+		o := c.diskOpts(tg)
+		sst, err := runEngine(tg, o, algo.NewBFS(0))
+		if err != nil {
+			return err
+		}
+		ast, err := runEngine(tg, o, algo.NewAsyncBFS(0))
+		if err != nil {
+			return err
+		}
+		tb.Row(w.Name, "sync", sst.Iterations, sst.Elapsed, report.Bytes(sst.BytesRead), "1.00x")
+		tb.Row(w.Name, "async", ast.Iterations, ast.Elapsed, report.Bytes(ast.BytesRead),
+			report.Speedup(sst.Elapsed, ast.Elapsed))
+		tg.Close()
+	}
+	tb.Fprint(c.Out)
+	return nil
+}

@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"fmt"
+
+	"github.com/gwu-systems/gstore/internal/report"
+)
+
+// Fig5 reproduces Figure 5: the distribution of edge counts across the
+// tiles of the twitter-like graph. The paper reports 40% empty tiles, 82%
+// under 1,000 edges, 0.2% above 100,000 and a 36M-edge maximum — a heavy
+// skew the proactive cache and physical grouping must cope with. At
+// reproduction scale the thresholds shift but the shape (most tiles tiny,
+// a few giant) must hold.
+func Fig5(c *Config) error {
+	c.Defaults()
+	tg, err := c.tileGraph("twitter-main", c.twitterCfg(), c.stdTileOpts())
+	if err != nil {
+		return err
+	}
+	defer tg.Close()
+
+	counts := make([]int64, tg.Layout.NumTiles())
+	var empty, small, large int
+	var max int64
+	for i := range counts {
+		n := tg.TupleCount(i)
+		counts[i] = n
+		switch {
+		case n == 0:
+			empty++
+		case n < 1000:
+			small++
+		}
+		if n > 100000 {
+			large++
+		}
+		if n > max {
+			max = n
+		}
+	}
+	total := len(counts)
+	sorted := sortedCopy(counts)
+
+	tb := report.New(fmt.Sprintf("Fig 5: tile edge counts (%s, %d tiles)",
+		c.twitterCfg().Name(), total),
+		"metric", "value")
+	tb.Row("empty tiles", fmt.Sprintf("%d (%.1f%%)", empty, pct(empty, total)))
+	tb.Row("tiles < 1000 edges", fmt.Sprintf("%d (%.1f%%)", empty+small, pct(empty+small, total)))
+	tb.Row("tiles > 100000 edges", fmt.Sprintf("%d (%.2f%%)", large, pct(large, total)))
+	tb.Row("median edges", percentile(sorted, 0.5))
+	tb.Row("p90 edges", percentile(sorted, 0.9))
+	tb.Row("p99 edges", percentile(sorted, 0.99))
+	tb.Row("max edges", max)
+	tb.Fprint(c.Out)
+
+	h := report.NewHistogram("tile edge-count distribution (log2 buckets)")
+	for _, n := range counts {
+		h.Add(n)
+	}
+	h.Fprint(c.Out)
+	return nil
+}
+
+// Fig7 reproduces Figure 7: the range of edge counts across physical
+// groups of the twitter-like graph. Groups inherit the tile skew but at a
+// coarser granularity: smallest groups hold thousands of edges, the
+// largest hundreds of millions in the paper (proportionally fewer here).
+func Fig7(c *Config) error {
+	c.Defaults()
+	tg, err := c.tileGraph("twitter-main", c.twitterCfg(), c.stdTileOpts())
+	if err != nil {
+		return err
+	}
+	defer tg.Close()
+
+	g := tg.Layout.NumGroups()
+	var groups []int64
+	for gi := uint32(0); gi < g; gi++ {
+		for gj := uint32(0); gj < g; gj++ {
+			lo, hi := tg.Layout.GroupRange(gi, gj)
+			var n int64
+			for i := lo; i < hi; i++ {
+				n += tg.TupleCount(i)
+			}
+			if hi > lo {
+				groups = append(groups, n)
+			}
+		}
+	}
+	sorted := sortedCopy(groups)
+	tb := report.New(fmt.Sprintf("Fig 7: physical-group edge counts (%s, q=%d, %d groups)",
+		c.twitterCfg().Name(), tg.Layout.Q, len(groups)),
+		"metric", "edges", "bytes")
+	add := func(label string, v int64) {
+		tb.Row(label, v, report.Bytes(v*tg.Meta.TupleBytes()))
+	}
+	add("min group", sorted[0])
+	add("p25 group", percentile(sorted, 0.25))
+	add("median group", percentile(sorted, 0.5))
+	add("p75 group", percentile(sorted, 0.75))
+	add("max group", sorted[len(sorted)-1])
+	tb.Fprint(c.Out)
+	return nil
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}

@@ -1,0 +1,174 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/gwu-systems/gstore/internal/algo"
+	"github.com/gwu-systems/gstore/internal/gen"
+	"github.com/gwu-systems/gstore/internal/graph"
+	"github.com/gwu-systems/gstore/internal/report"
+	"github.com/gwu-systems/gstore/internal/tile"
+)
+
+// workloads returns the named graph configurations standing in for the
+// paper's datasets (Table II).
+func (c *Config) workloads() []struct {
+	Name string
+	Cfg  gen.Config
+} {
+	return []struct {
+		Name string
+		Cfg  gen.Config
+	}{
+		{"twitter-like", c.twitterCfg()},
+		{"friendster-like", c.friendsterCfg()},
+		{"kron", c.kronCfg()},
+		{"random", c.uniformCfg()},
+	}
+}
+
+// Table1 reproduces Table I: conversion time to CSR vs to the G-Store
+// tile format. The tile conversion is usually faster (same two-pass
+// structure, half the output); heavy skew (twitter-like) slows the tile
+// side, as the paper observes.
+func Table1(c *Config) error {
+	c.Defaults()
+	tb := report.New("Table I: conversion time",
+		"graph", "edges", "CSR", "G-Store", "ratio CSR/G-Store")
+	for _, w := range c.workloads() {
+		el, err := c.edgeList(w.Cfg)
+		if err != nil {
+			return err
+		}
+		csrStart := time.Now()
+		csr := graph.NewCSR(el, false)
+		csrTime := time.Since(csrStart)
+		_ = csr
+
+		dir, err := tempWorkDir(c, "table1")
+		if err != nil {
+			return err
+		}
+		opts := c.stdTileOpts()
+		opts.TileBits = c.tileBits()
+		opts.GroupQ = 8
+		gsStart := time.Now()
+		tg, err := tile.Convert(el, dir, w.Name, opts)
+		gsTime := time.Since(gsStart)
+		if err != nil {
+			return err
+		}
+		tg.Close()
+		tb.Row(w.Name, len(el.Edges), csrTime, gsTime, report.Speedup(csrTime, gsTime))
+	}
+	tb.Fprint(c.Out)
+	return nil
+}
+
+// Table2 reproduces Table II: on-disk sizes of the edge list, CSR, and
+// G-Store representations, with the space savings the tile format
+// provides (2x from symmetry on undirected graphs, 2x from SNB vs CSR's
+// 4-byte IDs, 4-8x vs raw edge lists).
+func Table2(c *Config) error {
+	c.Defaults()
+	tb := report.New("Table II: graph sizes and space savings",
+		"graph", "type", "vertices", "edges", "edge list", "CSR", "G-Store",
+		"vs edge list", "vs CSR")
+	add := func(name string, cfg gen.Config) error {
+		el, err := c.edgeList(cfg)
+		if err != nil {
+			return err
+		}
+		csr := graph.NewCSR(el, false)
+		dir, err := tempWorkDir(c, "table2")
+		if err != nil {
+			return err
+		}
+		opts := c.stdTileOpts()
+		opts.TileBits = c.tileBits()
+		opts.GroupQ = 8
+		tg, err := tile.Convert(el, dir, name, opts)
+		if err != nil {
+			return err
+		}
+		defer tg.Close()
+		elBytes := graph.EdgeListSizeBytes(int64(len(el.Edges)), el.Directed)
+		csrBytes := csr.SizeBytes()
+		gsBytes := tg.DataBytes()
+		kind := "undirected"
+		if el.Directed {
+			kind = "directed"
+		}
+		tb.Row(name, kind, el.NumVertices, len(el.Edges),
+			report.Bytes(elBytes), report.Bytes(csrBytes), report.Bytes(gsBytes),
+			report.Ratio(float64(elBytes), float64(gsBytes)),
+			report.Ratio(float64(csrBytes), float64(gsBytes)))
+		return nil
+	}
+	for _, w := range c.workloads() {
+		if err := add(w.Name, w.Cfg); err != nil {
+			return err
+		}
+	}
+	// One extra scale step stands in for the paper's Kron-30/31/33 rows.
+	big := gen.Graph500Config(c.Scale+1, c.EdgeFactor, c.Seed+9)
+	if err := add(fmt.Sprintf("kron-%d-%d", c.Scale+1, c.EdgeFactor), big); err != nil {
+		return err
+	}
+	tb.Fprint(c.Out)
+	return nil
+}
+
+// Table3 reproduces Table III: end-to-end runtimes of BFS, PageRank (one
+// full run) and WCC on the largest graph the reproduction machine
+// comfortably holds, with the BFS MTEPS figure the paper reports for the
+// trillion-edge runs.
+func Table3(c *Config) error {
+	c.Defaults()
+	scale := c.Scale + 2
+	if c.Quick {
+		scale = c.Scale
+	}
+	cfg := gen.Graph500Config(scale, c.EdgeFactor, c.Seed+10)
+	name := fmt.Sprintf("kron-%d-%d-big", scale, c.EdgeFactor)
+	opts := c.stdTileOpts()
+	opts.TileBits = scale - 6
+	opts.GroupQ = 8
+	tg, err := c.tileGraph(name, cfg, opts)
+	if err != nil {
+		return err
+	}
+	defer tg.Close()
+
+	tb := report.New(fmt.Sprintf("Table III: runtimes on %s (%d vertices, %d edges)",
+		cfg.Name(), cfg.NumVertices(), cfg.NumEdges()),
+		"algorithm", "time", "iterations", "MTEPS", "metadata", "bytes read")
+	o := c.diskOpts(tg)
+
+	bfs := algo.NewBFS(0)
+	st, err := runEngine(tg, o, bfs)
+	if err != nil {
+		return err
+	}
+	tb.Row("BFS", st.Elapsed, st.Iterations,
+		st.MTEPS(2*tg.Meta.NumOriginal), report.Bytes(st.MetadataBytes), report.Bytes(st.BytesRead))
+
+	pr := algo.NewPageRank(5)
+	st, err = runEngine(tg, o, pr)
+	if err != nil {
+		return err
+	}
+	tb.Row("PageRank(5)", st.Elapsed, st.Iterations, "-",
+		report.Bytes(st.MetadataBytes), report.Bytes(st.BytesRead))
+
+	wcc := algo.NewWCC()
+	st, err = runEngine(tg, o, wcc)
+	if err != nil {
+		return err
+	}
+	tb.Row("WCC", st.Elapsed, st.Iterations, "-",
+		report.Bytes(st.MetadataBytes), report.Bytes(st.BytesRead))
+	tb.Fprint(c.Out)
+	return nil
+}

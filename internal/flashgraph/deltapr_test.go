@@ -1,0 +1,98 @@
+package flashgraph
+
+import (
+	"math"
+	"testing"
+
+	"github.com/gwu-systems/gstore/internal/gen"
+	"github.com/gwu-systems/gstore/internal/graph"
+)
+
+// ringKron returns a kron graph plus a ring so that every vertex has
+// degree >= 1: delta-PR and synchronous PR then agree after
+// normalization (no dangling mass to redistribute differently).
+func ringKron(t *testing.T, scale uint, seed uint64) *graph.EdgeList {
+	t.Helper()
+	el, err := gen.Generate(gen.Graph500Config(scale, 4, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := el.NumVertices
+	for v := uint32(0); v < n; v++ {
+		el.Edges = append(el.Edges, graph.Edge{Src: v, Dst: (v + 1) % n}.Canon())
+	}
+	return el
+}
+
+func TestDeltaPageRankMatchesSynchronous(t *testing.T) {
+	el := ringKron(t, 8, 61)
+	e := build(t, el, testOpts())
+
+	dp := NewDeltaPageRank(1e-10, 0)
+	st, err := e.Run(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations < 3 {
+		t.Fatalf("suspiciously quick: %d iterations", st.Iterations)
+	}
+
+	want := graph.RefPageRank(graph.NewCSR(el, false), graph.DefaultPageRank(100))
+	got := dp.Normalized()
+	for v := range got {
+		if math.Abs(got[v]-want[v]) > 1e-6 {
+			t.Fatalf("rank[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestDeltaPageRankActiveSetShrinks(t *testing.T) {
+	el := ringKron(t, 9, 62)
+	e := build(t, el, testOpts())
+	dp := NewDeltaPageRank(1e-6, 0)
+	if _, err := e.Run(dp); err != nil {
+		t.Fatal(err)
+	}
+	// After convergence the active set must be empty.
+	if len(dp.active) != 0 {
+		t.Fatalf("converged with %d active vertices", len(dp.active))
+	}
+}
+
+func TestDeltaPageRankMaxIterations(t *testing.T) {
+	el := ringKron(t, 8, 63)
+	e := build(t, el, testOpts())
+	dp := NewDeltaPageRank(1e-12, 3)
+	st, err := e.Run(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations != 3 {
+		t.Fatalf("iterations = %d, want 3", st.Iterations)
+	}
+}
+
+func TestDeltaPageRankCoarseThresholdIsCheaper(t *testing.T) {
+	el := ringKron(t, 9, 64)
+	e := build(t, el, testOpts())
+	fine := NewDeltaPageRank(1e-10, 0)
+	fs, err := e.Run(fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse := NewDeltaPageRank(1e-3, 0)
+	cs, err := e.Run(coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.VerticesRun >= fs.VerticesRun {
+		t.Fatalf("coarse threshold ran %d vertices, fine %d", cs.VerticesRun, fs.VerticesRun)
+	}
+	// Still roughly the right answer.
+	f, c := fine.Normalized(), coarse.Normalized()
+	for v := range f {
+		if math.Abs(f[v]-c[v]) > 1e-2 {
+			t.Fatalf("coarse rank[%d] = %v, fine %v", v, c[v], f[v])
+		}
+	}
+}

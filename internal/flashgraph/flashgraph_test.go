@@ -1,0 +1,191 @@
+package flashgraph
+
+import (
+	"math"
+	"testing"
+
+	"github.com/gwu-systems/gstore/internal/gen"
+	"github.com/gwu-systems/gstore/internal/graph"
+)
+
+func testOpts() Options {
+	o := DefaultOptions()
+	o.CacheBytes = 1 << 20
+	o.PageSize = 512
+	o.Threads = 4
+	o.Disks = 2
+	return o
+}
+
+func build(t *testing.T, el *graph.EdgeList, opts Options) *Engine {
+	t.Helper()
+	e, err := Build(el, t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+func kron(t *testing.T, scale uint, ef int, seed uint64) *graph.EdgeList {
+	t.Helper()
+	el, err := gen.Generate(gen.Graph500Config(scale, ef, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return el
+}
+
+func TestOptionsValidation(t *testing.T) {
+	el := kron(t, 6, 4, 1)
+	bad := testOpts()
+	bad.CacheBytes = 100
+	bad.PageSize = 512
+	if _, err := Build(el, t.TempDir(), bad); err == nil {
+		t.Fatal("cache smaller than a page accepted")
+	}
+}
+
+func TestAdjBytes(t *testing.T) {
+	el := kron(t, 8, 4, 2)
+	el.Dedup(true)
+	e := build(t, el, testOpts())
+	selfLoops := int64(0)
+	for _, ed := range el.Edges {
+		if ed.Src == ed.Dst {
+			selfLoops++
+		}
+	}
+	want := (2*int64(len(el.Edges)) - selfLoops) * 4
+	if e.AdjBytes() != want {
+		t.Fatalf("AdjBytes = %d, want %d", e.AdjBytes(), want)
+	}
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	el := kron(t, 10, 8, 3)
+	e := build(t, el, testOpts())
+	b := NewBFS(0)
+	st, err := e.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.RefBFS(graph.NewCSR(el, false), 0)
+	for v, d := range b.Depths() {
+		if d != want[v] {
+			t.Fatalf("depth[%d] = %d, want %d", v, d, want[v])
+		}
+	}
+	if st.BytesRead == 0 || st.CacheMisses == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	el := kron(t, 9, 8, 4)
+	e := build(t, el, testOpts())
+	iters := 10
+	p := NewPageRank(iters, el.OutDegrees())
+	st, err := e.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations != iters {
+		t.Fatalf("iterations = %d", st.Iterations)
+	}
+	want := graph.RefPageRank(graph.NewCSR(el, false), graph.DefaultPageRank(iters))
+	for v, r := range p.Ranks() {
+		if math.Abs(r-want[v]) > 1e-9 {
+			t.Fatalf("rank[%d] = %v, want %v", v, r, want[v])
+		}
+	}
+}
+
+func TestWCCMatchesReference(t *testing.T) {
+	el := kron(t, 10, 2, 5)
+	e := build(t, el, testOpts())
+	w := NewWCC()
+	if _, err := e.Run(w); err != nil {
+		t.Fatal(err)
+	}
+	want := graph.RefWCC(el)
+	for v, l := range w.Labels() {
+		if l != want[v] {
+			t.Fatalf("label[%d] = %d, want %d", v, l, want[v])
+		}
+	}
+}
+
+func TestDirectedBFS(t *testing.T) {
+	el, err := gen.Generate(gen.TwitterLikeConfig(9, 8, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := build(t, el, testOpts())
+	b := NewBFS(0)
+	if _, err := e.Run(b); err != nil {
+		t.Fatal(err)
+	}
+	want := graph.RefBFS(graph.NewCSR(el, false), 0)
+	for v, d := range b.Depths() {
+		if d != want[v] {
+			t.Fatalf("depth[%d] = %d, want %d", v, d, want[v])
+		}
+	}
+}
+
+// A cache big enough for the whole adjacency must make iterations 2..n of
+// PageRank free of disk reads.
+func TestWarmCacheStopsIO(t *testing.T) {
+	el := kron(t, 9, 8, 7)
+	opts := testOpts()
+	opts.CacheBytes = 32 << 20
+	e := build(t, el, opts)
+	p := NewPageRank(5, el.OutDegrees())
+	st, err := e.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BytesRead > 2*e.AdjBytes() {
+		t.Fatalf("warm cache still read %d bytes (adjacency is %d)", st.BytesRead, e.AdjBytes())
+	}
+	if st.CacheHits == 0 {
+		t.Fatal("no cache hits")
+	}
+}
+
+// A tiny cache must thrash on PageRank (the Observation-3 pathology).
+func TestColdCacheThrashes(t *testing.T) {
+	el := kron(t, 9, 8, 7)
+	opts := testOpts()
+	opts.PageSize = 512
+	opts.CacheBytes = 2048 // 4 pages
+	e := build(t, el, opts)
+	p := NewPageRank(3, el.OutDegrees())
+	st, err := e.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BytesRead < 2*e.AdjBytes() {
+		t.Fatalf("tiny cache read only %d bytes over 3 iterations (adjacency %d)",
+			st.BytesRead, e.AdjBytes())
+	}
+}
+
+func TestIsolatedVerticesBFS(t *testing.T) {
+	el := &graph.EdgeList{NumVertices: 16, Edges: []graph.Edge{{Src: 0, Dst: 1}}}
+	e := build(t, el, testOpts())
+	b := NewBFS(0)
+	if _, err := e.Run(b); err != nil {
+		t.Fatal(err)
+	}
+	d := b.Depths()
+	if d[0] != 0 || d[1] != 1 {
+		t.Fatalf("depths = %v", d[:2])
+	}
+	for v := 2; v < 16; v++ {
+		if d[v] != -1 {
+			t.Fatalf("isolated vertex %d reached", v)
+		}
+	}
+}

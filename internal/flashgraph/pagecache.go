@@ -1,0 +1,143 @@
+package flashgraph
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"github.com/gwu-systems/gstore/internal/storage"
+)
+
+// pageCache is an LRU cache of fixed-size pages over the adjacency file —
+// the caching design the paper contrasts with proactive tile caching
+// (§III Observation 3: "the likelihood of the same data being used in the
+// same iteration is negligible").
+//
+// Pages are individually allocated so a reader holding a page slice stays
+// valid after eviction (the garbage collector retires the buffer once the
+// last reader drops it). Concurrent misses on the same page are
+// deduplicated.
+type pageCache struct {
+	capacity  int64
+	pageSize  int64
+	fileSize  int64
+	readahead int64 // pages fetched per miss (aligned window)
+	arr       *storage.Array
+
+	mu      sync.Mutex
+	entries map[int64]*list.Element
+	order   *list.List // front = most recent
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type pageEntry struct {
+	page  int64
+	data  []byte
+	ready chan struct{}
+	err   error
+}
+
+func newPageCache(capacityPages, pageSize, fileSize, readahead int64, arr *storage.Array) *pageCache {
+	if capacityPages < 1 {
+		capacityPages = 1
+	}
+	if readahead < 1 {
+		readahead = 1
+	}
+	if readahead > capacityPages {
+		readahead = capacityPages
+	}
+	return &pageCache{
+		capacity:  capacityPages,
+		pageSize:  pageSize,
+		fileSize:  fileSize,
+		readahead: readahead,
+		arr:       arr,
+		entries:   make(map[int64]*list.Element),
+		order:     list.New(),
+	}
+}
+
+// get returns the contents of the given page, fetching it on a miss. The
+// returned slice must be treated as read-only.
+func (c *pageCache) get(page int64) ([]byte, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[page]; ok {
+		c.order.MoveToFront(el)
+		ent := el.Value.(*pageEntry)
+		c.mu.Unlock()
+		<-ent.ready
+		if ent.err != nil {
+			return nil, ent.err
+		}
+		c.hits.Add(1)
+		return ent.data, nil
+	}
+	// Miss: install pending entries for the whole readahead window (one
+	// merged I/O, like FlashGraph's request merging), evict as needed,
+	// read outside the lock.
+	winStart := page - page%c.readahead
+	winEnd := winStart + c.readahead
+	if maxPage := (c.fileSize + c.pageSize - 1) / c.pageSize; winEnd > maxPage {
+		winEnd = maxPage
+	}
+	var ents []*pageEntry
+	for p := winStart; p < winEnd; p++ {
+		if _, ok := c.entries[p]; ok && p != page {
+			continue // already cached or in flight; don't refetch
+		}
+		ent := &pageEntry{page: p, ready: make(chan struct{})}
+		el := c.order.PushFront(ent)
+		c.entries[p] = el
+		ents = append(ents, ent)
+	}
+	for int64(c.order.Len()) > c.capacity {
+		back := c.order.Back()
+		victim := back.Value.(*pageEntry)
+		c.order.Remove(back)
+		delete(c.entries, victim.page)
+	}
+	c.mu.Unlock()
+
+	c.misses.Add(int64(len(ents)))
+	// One merged read covering the window; slice it into pages.
+	lo := ents[0].page
+	hi := ents[len(ents)-1].page + 1
+	n := hi*c.pageSize - lo*c.pageSize
+	if rem := c.fileSize - lo*c.pageSize; rem < n {
+		n = rem
+	}
+	win := make([]byte, (hi-lo)*c.pageSize)
+	var err error
+	if n > 0 {
+		err = c.arr.ReadSync(lo*c.pageSize, win[:n])
+	}
+	var out []byte
+	for _, ent := range ents {
+		off := (ent.page - lo) * c.pageSize
+		ent.data = win[off : off+c.pageSize]
+		ent.err = err
+		close(ent.ready)
+		if ent.page == page {
+			out = ent.data
+		}
+	}
+	if err != nil {
+		c.mu.Lock()
+		for _, ent := range ents {
+			if cur, ok := c.entries[ent.page]; ok && cur.Value.(*pageEntry) == ent {
+				c.order.Remove(cur)
+				delete(c.entries, ent.page)
+			}
+		}
+		c.mu.Unlock()
+		return nil, err
+	}
+	return out, nil
+}
+
+func (c *pageCache) counters() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,229 @@
+package flashgraph
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// BFS is frontier-driven vertex-centric BFS: active (frontier) vertices
+// push depth to their neighbors. This is the access pattern FlashGraph
+// serves well — only frontier adjacency lists are fetched — which is why
+// the paper measures the smallest G-Store advantage here.
+type BFS struct {
+	Root  uint32
+	depth []int32
+	level int32
+	next  []uint32
+	mu    chan struct{} // 1-token semaphore guarding next
+}
+
+// NewBFS returns a BFS program rooted at root.
+func NewBFS(root uint32) *BFS { return &BFS{Root: root} }
+
+// Name implements VertexProgram.
+func (b *BFS) Name() string { return "bfs" }
+
+// Init implements VertexProgram.
+func (b *BFS) Init(n uint32) {
+	b.depth = make([]int32, n)
+	for i := range b.depth {
+		b.depth[i] = -1
+	}
+	b.mu = make(chan struct{}, 1)
+	if b.Root < n {
+		b.depth[b.Root] = 0
+		b.next = []uint32{b.Root}
+	}
+}
+
+// Depths returns the result.
+func (b *BFS) Depths() []int32 { return b.depth }
+
+// BeforeIteration implements VertexProgram.
+func (b *BFS) BeforeIteration(iter int) ([]uint32, bool) {
+	b.level = int32(iter)
+	frontier := b.next
+	b.next = nil
+	return frontier, false
+}
+
+// Process implements VertexProgram.
+func (b *BFS) Process(v uint32, neighbors []uint32) {
+	var local []uint32
+	for _, w := range neighbors {
+		if atomic.LoadInt32(&b.depth[w]) == -1 &&
+			atomic.CompareAndSwapInt32(&b.depth[w], -1, b.level+1) {
+			local = append(local, w)
+		}
+	}
+	if len(local) > 0 {
+		b.mu <- struct{}{}
+		b.next = append(b.next, local...)
+		<-b.mu
+	}
+}
+
+// AfterIteration implements VertexProgram.
+func (b *BFS) AfterIteration(int) bool { return len(b.next) == 0 }
+
+// PageRank is the vertex-centric push PageRank over out-edges.
+type PageRank struct {
+	Iterations int
+	rank       []float64
+	accum      []uint64
+	share      []float64
+	degrees    []uint32
+	dangling   float64
+}
+
+// NewPageRank builds the program; degrees are the per-vertex out-degrees.
+func NewPageRank(iterations int, degrees []uint32) *PageRank {
+	return &PageRank{Iterations: iterations, degrees: degrees}
+}
+
+// Name implements VertexProgram.
+func (p *PageRank) Name() string { return "pagerank" }
+
+// Init implements VertexProgram.
+func (p *PageRank) Init(n uint32) {
+	p.rank = make([]float64, n)
+	p.accum = make([]uint64, n)
+	p.share = make([]float64, n)
+	inv := 1.0 / float64(n)
+	for i := range p.rank {
+		p.rank[i] = inv
+	}
+}
+
+// Ranks returns the rank vector.
+func (p *PageRank) Ranks() []float64 { return p.rank }
+
+// BeforeIteration implements VertexProgram.
+func (p *PageRank) BeforeIteration(int) ([]uint32, bool) {
+	p.dangling = 0
+	for v := range p.share {
+		d := p.degrees[v]
+		if d == 0 {
+			p.dangling += p.rank[v]
+			p.share[v] = 0
+			continue
+		}
+		p.share[v] = p.rank[v] / float64(d)
+	}
+	for i := range p.accum {
+		p.accum[i] = 0
+	}
+	return nil, true // all vertices active
+}
+
+// Process implements VertexProgram.
+func (p *PageRank) Process(v uint32, neighbors []uint32) {
+	s := p.share[v]
+	if s == 0 {
+		return
+	}
+	for _, w := range neighbors {
+		addFloat(&p.accum[w], s)
+	}
+}
+
+func addFloat(p *uint64, v float64) {
+	for {
+		old := atomic.LoadUint64(p)
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(p, old, next) {
+			return
+		}
+	}
+}
+
+// AfterIteration implements VertexProgram.
+func (p *PageRank) AfterIteration(iter int) bool {
+	n := float64(len(p.rank))
+	base := (1-0.85)/n + 0.85*p.dangling/n
+	for v := range p.rank {
+		p.rank[v] = base + 0.85*math.Float64frombits(p.accum[v])
+	}
+	return iter+1 >= p.Iterations
+}
+
+// WCC is vertex-centric min-label propagation: active vertices push their
+// label to neighbors; vertices whose label dropped become active.
+type WCC struct {
+	labels []uint32
+	active []uint32
+	mu     chan struct{}
+	seen   []int32 // whether v is already queued for the next iteration
+}
+
+// NewWCC returns the connected-components program.
+func NewWCC() *WCC { return &WCC{} }
+
+// Name implements VertexProgram.
+func (w *WCC) Name() string { return "wcc" }
+
+// Init implements VertexProgram.
+func (w *WCC) Init(n uint32) {
+	w.labels = make([]uint32, n)
+	w.seen = make([]int32, n)
+	w.mu = make(chan struct{}, 1)
+	for i := range w.labels {
+		w.labels[i] = uint32(i)
+	}
+}
+
+// Labels returns the labels after the run.
+func (w *WCC) Labels() []uint32 { return w.labels }
+
+// BeforeIteration implements VertexProgram.
+func (w *WCC) BeforeIteration(iter int) ([]uint32, bool) {
+	if iter == 0 {
+		return nil, true
+	}
+	active := w.active
+	w.active = nil
+	for i := range w.seen {
+		w.seen[i] = 0
+	}
+	return active, false
+}
+
+// Process implements VertexProgram.
+func (w *WCC) Process(v uint32, neighbors []uint32) {
+	lv := atomic.LoadUint32(&w.labels[v])
+	var local []uint32
+	for _, n := range neighbors {
+		ln := atomic.LoadUint32(&w.labels[n])
+		switch {
+		case lv < ln:
+			if lowerTo(&w.labels[n], lv) && atomic.CompareAndSwapInt32(&w.seen[n], 0, 1) {
+				local = append(local, n)
+			}
+		case ln < lv:
+			if lowerTo(&w.labels[v], ln) && atomic.CompareAndSwapInt32(&w.seen[v], 0, 1) {
+				local = append(local, v)
+			}
+			lv = atomic.LoadUint32(&w.labels[v])
+		}
+	}
+	if len(local) > 0 {
+		w.mu <- struct{}{}
+		w.active = append(w.active, local...)
+		<-w.mu
+	}
+}
+
+func lowerTo(p *uint32, v uint32) bool {
+	for {
+		old := atomic.LoadUint32(p)
+		if v >= old {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(p, old, v) {
+			return true
+		}
+	}
+}
+
+// AfterIteration implements VertexProgram.
+func (w *WCC) AfterIteration(int) bool { return len(w.active) == 0 }

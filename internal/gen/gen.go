@@ -1,0 +1,232 @@
+// Package gen produces the synthetic graphs used throughout the paper's
+// evaluation: Kronecker/RMAT power-law graphs (the Kron-N-M and Rmat-N-M
+// rows of Table II, and Graph500-style inputs) and uniform random graphs
+// (the Random-27-32 row). Real-world downloads (Twitter, Friendster,
+// Subdomain) are substituted with seeded RMAT graphs whose skew matches
+// their degree distributions; see DESIGN.md §2.
+package gen
+
+import (
+	"fmt"
+
+	"github.com/gwu-systems/gstore/internal/graph"
+)
+
+// Kind selects the generator family.
+type Kind int
+
+const (
+	// Kronecker is the Graph500 Kronecker generator (equivalent to RMAT
+	// with A=0.57, B=C=0.19, D=0.05).
+	Kronecker Kind = iota
+	// RMAT is the recursive matrix generator with explicit quadrant
+	// probabilities.
+	RMAT
+	// Uniform samples endpoints independently and uniformly (an
+	// Erdős–Rényi-style G(n, m) graph).
+	Uniform
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Kronecker:
+		return "kron"
+	case RMAT:
+		return "rmat"
+	case Uniform:
+		return "random"
+	default:
+		return fmt.Sprintf("gen.Kind(%d)", int(k))
+	}
+}
+
+// Config describes a synthetic graph. NumVertices = 2^Scale and
+// NumEdges = EdgeFactor * NumVertices, matching the paper's
+// "<family>-<scale>-<edgefactor>" naming (e.g. Kron-28-16).
+type Config struct {
+	Kind       Kind
+	Scale      uint
+	EdgeFactor int
+	A, B, C    float64 // RMAT quadrant probabilities; D = 1-A-B-C
+	Seed       uint64
+	Directed   bool
+	// DropSelfLoops removes self loops after generation (duplicates are
+	// kept: real RMAT streams contain them, and the converters must cope).
+	DropSelfLoops bool
+}
+
+// Graph500Config returns the standard Kronecker configuration for the
+// given scale and edge factor.
+func Graph500Config(scale uint, edgeFactor int, seed uint64) Config {
+	return Config{
+		Kind: Kronecker, Scale: scale, EdgeFactor: edgeFactor,
+		A: 0.57, B: 0.19, C: 0.19, Seed: seed,
+	}
+}
+
+// TwitterLikeConfig returns an RMAT configuration whose degree skew mimics
+// the Twitter follower graph used in the paper (a heavily skewed power law
+// with a few very large-degree vertices and ~40% empty tiles at the
+// paper's tile width).
+func TwitterLikeConfig(scale uint, edgeFactor int, seed uint64) Config {
+	return Config{
+		Kind: RMAT, Scale: scale, EdgeFactor: edgeFactor,
+		A: 0.65, B: 0.15, C: 0.15, Seed: seed, Directed: true,
+	}
+}
+
+// UniformConfig returns a uniform random graph configuration (the paper's
+// Random-27-32).
+func UniformConfig(scale uint, edgeFactor int, seed uint64) Config {
+	return Config{Kind: Uniform, Scale: scale, EdgeFactor: edgeFactor, Seed: seed}
+}
+
+// Name returns the paper-style name of the configuration, e.g.
+// "kron-20-16".
+func (c Config) Name() string {
+	return fmt.Sprintf("%s-%d-%d", c.Kind, c.Scale, c.EdgeFactor)
+}
+
+// NumVertices returns 2^Scale.
+func (c Config) NumVertices() uint32 {
+	if c.Scale >= 32 {
+		panic("gen: scale must be < 32 for 32-bit vertex IDs")
+	}
+	return uint32(1) << c.Scale
+}
+
+// NumEdges returns EdgeFactor * NumVertices.
+func (c Config) NumEdges() int64 {
+	return int64(c.EdgeFactor) << c.Scale
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Scale == 0 || c.Scale >= 32 {
+		return fmt.Errorf("gen: scale %d out of range [1,31]", c.Scale)
+	}
+	if c.EdgeFactor <= 0 {
+		return fmt.Errorf("gen: edge factor %d must be positive", c.EdgeFactor)
+	}
+	if c.Kind == RMAT || c.Kind == Kronecker {
+		a, b, cc := c.A, c.B, c.C
+		if c.Kind == Kronecker && a == 0 && b == 0 && cc == 0 {
+			a, b, cc = 0.57, 0.19, 0.19
+		}
+		if a < 0 || b < 0 || cc < 0 || a+b+cc > 1 {
+			return fmt.Errorf("gen: invalid RMAT probabilities a=%v b=%v c=%v", a, b, cc)
+		}
+	}
+	return nil
+}
+
+// Generate materializes the full edge list. For large scales prefer
+// Stream, which avoids holding the slice.
+func Generate(c Config) (*graph.EdgeList, error) {
+	el := &graph.EdgeList{
+		NumVertices: c.NumVertices(),
+		Directed:    c.Directed,
+		Edges:       make([]graph.Edge, 0, c.NumEdges()),
+	}
+	err := Stream(c, func(e graph.Edge) error {
+		el.Edges = append(el.Edges, e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !c.Directed {
+		el.Canonicalize()
+	}
+	return el, nil
+}
+
+// Stream invokes emit for every generated edge in a deterministic order
+// given the seed. Undirected configurations emit canonicalized tuples.
+func Stream(c Config, emit func(graph.Edge) error) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	rng := NewRNG(c.Seed)
+	n := c.NumEdges()
+	switch c.Kind {
+	case Uniform:
+		mask := uint64(c.NumVertices() - 1)
+		for i := int64(0); i < n; i++ {
+			e := graph.Edge{
+				Src: uint32(rng.Next() & mask),
+				Dst: uint32(rng.Next() & mask),
+			}
+			if c.DropSelfLoops && e.Src == e.Dst {
+				i--
+				continue
+			}
+			if !c.Directed {
+				e = e.Canon()
+			}
+			if err := emit(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	case RMAT, Kronecker:
+		a, b, cc := c.A, c.B, c.C
+		if c.Kind == Kronecker && a == 0 && b == 0 && cc == 0 {
+			a, b, cc = 0.57, 0.19, 0.19
+		}
+		r := rmat{a: a, b: b, c: cc, scale: c.Scale, rng: rng}
+		for i := int64(0); i < n; i++ {
+			e := r.edge()
+			if c.DropSelfLoops && e.Src == e.Dst {
+				i--
+				continue
+			}
+			if !c.Directed {
+				e = e.Canon()
+			}
+			if err := emit(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("gen: unknown kind %v", c.Kind)
+	}
+}
+
+type rmat struct {
+	a, b, c float64
+	scale   uint
+	rng     *RNG
+}
+
+// edge draws one RMAT edge by descending the 2^scale × 2^scale adjacency
+// matrix, picking a quadrant per level with probabilities (a, b, c, d) and
+// a small per-level noise term so the distribution is not perfectly
+// self-similar (as in the Graph500 reference implementation).
+func (r *rmat) edge() graph.Edge {
+	var src, dst uint32
+	for bit := int(r.scale) - 1; bit >= 0; bit-- {
+		p := r.rng.Float64()
+		// ±5% multiplicative noise keeps the generated graphs from having
+		// pathological exact self-similarity.
+		noise := 0.95 + 0.1*r.rng.Float64()
+		a := r.a * noise
+		b := r.b * noise
+		c := r.c * noise
+		sum := a + b + c + (1 - r.a - r.b - r.c)
+		a, b, c = a/sum, b/sum, c/sum
+		switch {
+		case p < a:
+			// top-left: nothing set
+		case p < a+b:
+			dst |= 1 << uint(bit)
+		case p < a+b+c:
+			src |= 1 << uint(bit)
+		default:
+			src |= 1 << uint(bit)
+			dst |= 1 << uint(bit)
+		}
+	}
+	return graph.Edge{Src: src, Dst: dst}
+}

@@ -1,0 +1,250 @@
+package gen
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/gwu-systems/gstore/internal/graph"
+)
+
+func TestConfigNaming(t *testing.T) {
+	c := Graph500Config(28, 16, 1)
+	if c.Name() != "kron-28-16" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	if c.NumVertices() != 1<<28 {
+		t.Fatalf("NumVertices = %d", c.NumVertices())
+	}
+	if c.NumEdges() != 16<<28 {
+		t.Fatalf("NumEdges = %d", c.NumEdges())
+	}
+	u := UniformConfig(27, 32, 1)
+	if u.Name() != "random-27-32" {
+		t.Fatalf("Name = %q", u.Name())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{Graph500Config(20, 16, 1), true},
+		{Config{Kind: RMAT, Scale: 0, EdgeFactor: 16}, false},
+		{Config{Kind: RMAT, Scale: 32, EdgeFactor: 16}, false},
+		{Config{Kind: RMAT, Scale: 10, EdgeFactor: 0}, false},
+		{Config{Kind: RMAT, Scale: 10, EdgeFactor: 4, A: 0.9, B: 0.2, C: 0.2}, false},
+		{UniformConfig(10, 4, 3), true},
+	}
+	for i, tc := range cases {
+		err := tc.cfg.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("case %d: Validate() err=%v, ok=%v", i, err, tc.ok)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Graph500Config(10, 8, 42)
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Edges, b.Edges) {
+		t.Fatal("same seed produced different graphs")
+	}
+	cfg.Seed = 43
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Edges, c.Edges) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	for _, cfg := range []Config{
+		Graph500Config(10, 8, 7),
+		UniformConfig(10, 8, 7),
+		TwitterLikeConfig(10, 8, 7),
+	} {
+		el, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name(), err)
+		}
+		if int64(len(el.Edges)) != cfg.NumEdges() {
+			t.Fatalf("%s: %d edges, want %d", cfg.Name(), len(el.Edges), cfg.NumEdges())
+		}
+		if el.NumVertices != cfg.NumVertices() {
+			t.Fatalf("%s: %d vertices", cfg.Name(), el.NumVertices)
+		}
+		if err := el.Validate(); err != nil {
+			t.Fatalf("%s: %v", cfg.Name(), err)
+		}
+	}
+}
+
+func TestGenerateUndirectedCanonical(t *testing.T) {
+	cfg := Graph500Config(8, 8, 5)
+	el, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range el.Edges {
+		if e.Src > e.Dst {
+			t.Fatalf("non-canonical undirected edge %v", e)
+		}
+	}
+}
+
+func TestDropSelfLoops(t *testing.T) {
+	cfg := UniformConfig(4, 32, 9)
+	cfg.DropSelfLoops = true
+	el, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(el.Edges)) != cfg.NumEdges() {
+		t.Fatalf("self-loop replacement changed edge count: %d", len(el.Edges))
+	}
+	for _, e := range el.Edges {
+		if e.Src == e.Dst {
+			t.Fatalf("self loop survived: %v", e)
+		}
+	}
+}
+
+// RMAT graphs must be substantially more skewed than uniform graphs:
+// compare the maximum degree of both at the same size.
+func TestRMATSkewExceedsUniform(t *testing.T) {
+	rm, err := Generate(TwitterLikeConfig(12, 16, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	un, err := Generate(UniformConfig(12, 16, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg := func(el *graph.EdgeList) uint32 {
+		var m uint32
+		for _, d := range el.OutDegrees() {
+			if d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	mr, mu := maxDeg(rm), maxDeg(un)
+	if mr < 4*mu {
+		t.Fatalf("rmat max degree %d not >> uniform %d", mr, mu)
+	}
+}
+
+func TestUniformIsRoughlyUniform(t *testing.T) {
+	el, err := Generate(UniformConfig(8, 64, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := el.OutDegrees()
+	mean := 0.0
+	for _, d := range deg {
+		mean += float64(d)
+	}
+	mean /= float64(len(deg))
+	// Expected degree = 2*EdgeFactor = 128. Allow generous slack.
+	if math.Abs(mean-128) > 8 {
+		t.Fatalf("mean degree %v far from 128", mean)
+	}
+}
+
+func TestStreamEmitError(t *testing.T) {
+	cfg := UniformConfig(6, 4, 1)
+	calls := 0
+	err := Stream(cfg, func(graph.Edge) error {
+		calls++
+		if calls == 5 {
+			return errStop
+		}
+		return nil
+	})
+	if err != errStop {
+		t.Fatalf("err = %v, want errStop", err)
+	}
+	if calls != 5 {
+		t.Fatalf("emit called %d times after error", calls)
+	}
+}
+
+var errStop = &stopError{}
+
+type stopError struct{}
+
+func (*stopError) Error() string { return "stop" }
+
+func TestRNGDeterministicAndSpread(t *testing.T) {
+	a, b := NewRNG(123), NewRNG(123)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	r := NewRNG(7)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[r.Next()] = true
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("RNG produced %d distinct values of 1000", len(seen))
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(99)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGUint32n(t *testing.T) {
+	r := NewRNG(5)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[r.Uint32n(10)]++
+	}
+	sort.Ints(counts)
+	if counts[0] < 8000 || counts[9] > 12000 {
+		t.Fatalf("Uint32n(10) badly skewed: %v", counts)
+	}
+}
+
+// Property: generated edges always lie in [0, 2^scale).
+func TestQuickEdgesInRange(t *testing.T) {
+	f := func(seed uint64, rawScale, rawEF uint8) bool {
+		scale := uint(rawScale)%10 + 2
+		ef := int(rawEF)%8 + 1
+		cfg := Graph500Config(scale, ef, seed)
+		n := cfg.NumVertices()
+		ok := true
+		err := Stream(cfg, func(e graph.Edge) error {
+			if e.Src >= n || e.Dst >= n {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

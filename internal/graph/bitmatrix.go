@@ -1,0 +1,67 @@
+package graph
+
+import "fmt"
+
+// BitMatrix is the bitwise adjacency-matrix representation of §II-A
+// Figure 1(d): one bit per (src, dst) pair. Its size is |V|²/8 bytes
+// regardless of density, which is why no out-of-core engine uses it for
+// sparse graphs — it is included to complete the paper's catalogue of
+// representations and as ground truth for membership queries in tests.
+type BitMatrix struct {
+	NumVertices uint32
+	words       []uint64
+	directed    bool
+}
+
+// MaxBitMatrixVertices bounds the representation to ~512 MB of bits.
+const MaxBitMatrixVertices = 1 << 16
+
+// NewBitMatrix materializes el as a bit matrix. Undirected edge lists set
+// both mirror bits.
+func NewBitMatrix(el *EdgeList) (*BitMatrix, error) {
+	if el.NumVertices > MaxBitMatrixVertices {
+		return nil, fmt.Errorf("graph: %d vertices too many for a bit matrix (max %d)",
+			el.NumVertices, MaxBitMatrixVertices)
+	}
+	n := uint64(el.NumVertices)
+	m := &BitMatrix{
+		NumVertices: el.NumVertices,
+		words:       make([]uint64, (n*n+63)/64),
+		directed:    el.Directed,
+	}
+	for _, e := range el.Edges {
+		m.set(e.Src, e.Dst)
+		if !el.Directed {
+			m.set(e.Dst, e.Src)
+		}
+	}
+	return m, nil
+}
+
+func (m *BitMatrix) set(s, d uint32) {
+	i := uint64(s)*uint64(m.NumVertices) + uint64(d)
+	m.words[i>>6] |= 1 << (i & 63)
+}
+
+// Has reports whether the edge (s, d) exists.
+func (m *BitMatrix) Has(s, d uint32) bool {
+	if s >= m.NumVertices || d >= m.NumVertices {
+		return false
+	}
+	i := uint64(s)*uint64(m.NumVertices) + uint64(d)
+	return m.words[i>>6]&(1<<(i&63)) != 0
+}
+
+// OutDegree counts the set bits of row s.
+func (m *BitMatrix) OutDegree(s uint32) int {
+	n := 0
+	for d := uint32(0); d < m.NumVertices; d++ {
+		if m.Has(s, d) {
+			n++
+		}
+	}
+	return n
+}
+
+// SizeBytes is the |V|²/8 storage cost (Table II-style accounting).
+func (m *BitMatrix) SizeBytes() int64 { return int64(len(m.words)) * 8 }

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitMatrixPaperFigure1(t *testing.T) {
+	// Figure 1(d)'s bitwise matrix for the example graph.
+	el := paperGraph()
+	m, err := NewBitMatrix(el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check the figure's ones and zeros (undirected: symmetric).
+	for _, e := range el.Edges {
+		if !m.Has(e.Src, e.Dst) || !m.Has(e.Dst, e.Src) {
+			t.Fatalf("edge (%d,%d) missing", e.Src, e.Dst)
+		}
+	}
+	if m.Has(0, 2) || m.Has(7, 0) || m.Has(3, 3) {
+		t.Fatal("phantom edges present")
+	}
+	if m.OutDegree(4) != 4 {
+		t.Fatalf("OutDegree(4) = %d, want 4", m.OutDegree(4))
+	}
+	// 8 vertices -> 64 bits -> 8 bytes.
+	if m.SizeBytes() != 8 {
+		t.Fatalf("SizeBytes = %d", m.SizeBytes())
+	}
+}
+
+func TestBitMatrixDirected(t *testing.T) {
+	el := &EdgeList{NumVertices: 4, Directed: true, Edges: []Edge{{Src: 0, Dst: 3}}}
+	m, err := NewBitMatrix(el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Has(0, 3) || m.Has(3, 0) {
+		t.Fatal("directed bit handling wrong")
+	}
+	if m.Has(99, 0) || m.Has(0, 99) {
+		t.Fatal("out-of-range Has returned true")
+	}
+}
+
+func TestBitMatrixTooBig(t *testing.T) {
+	el := &EdgeList{NumVertices: MaxBitMatrixVertices + 1}
+	if _, err := NewBitMatrix(el); err == nil {
+		t.Fatal("oversized matrix accepted")
+	}
+}
+
+// Property: the bit matrix agrees with CSR adjacency for random graphs.
+func TestQuickBitMatrixAgreesWithCSR(t *testing.T) {
+	f := func(raw []uint16, nv uint8) bool {
+		n := uint32(nv)%48 + 1
+		el := &EdgeList{NumVertices: n}
+		for i := 0; i+1 < len(raw); i += 2 {
+			el.Edges = append(el.Edges,
+				Edge{Src: uint32(raw[i]) % n, Dst: uint32(raw[i+1]) % n})
+		}
+		m, err := NewBitMatrix(el)
+		if err != nil {
+			return false
+		}
+		csr := NewCSR(el, false)
+		for v := uint32(0); v < n; v++ {
+			for _, w := range csr.Neighbors(v) {
+				if !m.Has(v, w) {
+					return false
+				}
+			}
+		}
+		// Count parity: matrix bits == distinct adjacency pairs.
+		bits := 0
+		for s := uint32(0); s < n; s++ {
+			bits += m.OutDegree(s)
+		}
+		seen := map[Edge]bool{}
+		for v := uint32(0); v < n; v++ {
+			for _, w := range csr.Neighbors(v) {
+				seen[Edge{Src: v, Dst: w}] = true
+			}
+		}
+		return bits == len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package graph provides the in-memory graph substrate shared by every
+// engine in this repository: edge lists, CSR construction, degree counting
+// and single-threaded reference implementations of the three algorithms the
+// paper evaluates (BFS, PageRank, Connected Components). The reference
+// implementations are the ground truth that the out-of-core engines are
+// tested against.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex. The paper's engine targets graphs with up
+// to 2^33 vertices; this reproduction, like the paper's small-graph path,
+// uses 32-bit IDs (tiles re-compress them to 16 bits internally).
+type VertexID = uint32
+
+// Edge is a single directed edge tuple (src, dst). Undirected graphs are
+// represented as a set of canonicalized tuples with Src <= Dst plus the
+// interpretation that each tuple stands for both directions.
+type Edge struct {
+	Src VertexID
+	Dst VertexID
+}
+
+// Canon returns the canonical (undirected) form of e with Src <= Dst.
+func (e Edge) Canon() Edge {
+	if e.Src > e.Dst {
+		return Edge{e.Dst, e.Src}
+	}
+	return e
+}
+
+// EdgeList is a slice of edges together with the vertex-space size.
+type EdgeList struct {
+	NumVertices uint32
+	Edges       []Edge
+	Directed    bool
+}
+
+// Validate checks that every endpoint is inside the vertex space.
+func (el *EdgeList) Validate() error {
+	if el.NumVertices == 0 && len(el.Edges) > 0 {
+		return errors.New("graph: edge list with zero vertices")
+	}
+	for i, e := range el.Edges {
+		if e.Src >= el.NumVertices || e.Dst >= el.NumVertices {
+			return fmt.Errorf("graph: edge %d (%d,%d) outside vertex space %d",
+				i, e.Src, e.Dst, el.NumVertices)
+		}
+	}
+	return nil
+}
+
+// Canonicalize rewrites every edge of an undirected edge list into the
+// canonical Src <= Dst form. It is a no-op for directed lists.
+func (el *EdgeList) Canonicalize() {
+	if el.Directed {
+		return
+	}
+	for i, e := range el.Edges {
+		el.Edges[i] = e.Canon()
+	}
+}
+
+// Dedup sorts the edges and removes duplicates (and, optionally, self
+// loops). It returns the number of edges removed.
+func (el *EdgeList) Dedup(dropSelfLoops bool) int {
+	es := el.Edges
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Src != es[j].Src {
+			return es[i].Src < es[j].Src
+		}
+		return es[i].Dst < es[j].Dst
+	})
+	out := es[:0]
+	var prev Edge
+	first := true
+	for _, e := range es {
+		if dropSelfLoops && e.Src == e.Dst {
+			continue
+		}
+		if !first && e == prev {
+			continue
+		}
+		out = append(out, e)
+		prev = e
+		first = false
+	}
+	removed := len(es) - len(out)
+	el.Edges = out
+	return removed
+}
+
+// OutDegrees returns the out-degree of every vertex. For undirected edge
+// lists each canonical tuple counts toward both endpoints (a self loop
+// counts once).
+func (el *EdgeList) OutDegrees() []uint32 {
+	deg := make([]uint32, el.NumVertices)
+	for _, e := range el.Edges {
+		deg[e.Src]++
+		if !el.Directed && e.Src != e.Dst {
+			deg[e.Dst]++
+		}
+	}
+	return deg
+}
+
+// InDegrees returns the in-degree of every vertex. For undirected lists it
+// equals OutDegrees.
+func (el *EdgeList) InDegrees() []uint32 {
+	if !el.Directed {
+		return el.OutDegrees()
+	}
+	deg := make([]uint32, el.NumVertices)
+	for _, e := range el.Edges {
+		deg[e.Dst]++
+	}
+	return deg
+}

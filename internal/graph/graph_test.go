@@ -1,0 +1,331 @@
+package graph
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// paperGraph returns the 8-vertex example graph from Figure 1 of the paper.
+func paperGraph() *EdgeList {
+	return &EdgeList{
+		NumVertices: 8,
+		Directed:    false,
+		Edges: []Edge{
+			{0, 1}, {0, 3}, {0, 4}, {1, 2}, {1, 4}, {2, 4},
+			{4, 5}, {5, 6}, {5, 7},
+		},
+	}
+}
+
+func TestCanon(t *testing.T) {
+	if (Edge{5, 2}).Canon() != (Edge{2, 5}) {
+		t.Fatalf("Canon(5,2) = %v", (Edge{5, 2}).Canon())
+	}
+	if (Edge{2, 5}).Canon() != (Edge{2, 5}) {
+		t.Fatalf("Canon(2,5) changed an already-canonical edge")
+	}
+	if (Edge{3, 3}).Canon() != (Edge{3, 3}) {
+		t.Fatalf("Canon(3,3) changed a self loop")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	el := paperGraph()
+	if err := el.Validate(); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+	el.Edges = append(el.Edges, Edge{7, 8})
+	if err := el.Validate(); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	bad := &EdgeList{NumVertices: 0, Edges: []Edge{{0, 0}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero-vertex graph with edges accepted")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	el := &EdgeList{
+		NumVertices: 4,
+		Edges:       []Edge{{1, 2}, {0, 1}, {1, 2}, {2, 2}, {0, 1}, {3, 0}},
+	}
+	removed := el.Dedup(true)
+	if removed != 3 {
+		t.Fatalf("Dedup removed %d edges, want 3", removed)
+	}
+	want := []Edge{{0, 1}, {1, 2}, {3, 0}}
+	if !reflect.DeepEqual(el.Edges, want) {
+		t.Fatalf("Dedup result %v, want %v", el.Edges, want)
+	}
+}
+
+func TestDedupKeepSelfLoops(t *testing.T) {
+	el := &EdgeList{NumVertices: 3, Edges: []Edge{{2, 2}, {2, 2}, {1, 0}}}
+	removed := el.Dedup(false)
+	if removed != 1 {
+		t.Fatalf("removed = %d, want 1", removed)
+	}
+	want := []Edge{{1, 0}, {2, 2}}
+	if !reflect.DeepEqual(el.Edges, want) {
+		t.Fatalf("got %v want %v", el.Edges, want)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	el := paperGraph()
+	deg := el.OutDegrees()
+	// Figure 1(e)'s partitions give adjacency sizes 3,3,2,1,4,3,1,1.
+	want := []uint32{3, 3, 2, 1, 4, 3, 1, 1}
+	if !reflect.DeepEqual(deg, want) {
+		t.Fatalf("undirected degrees = %v, want %v", deg, want)
+	}
+
+	dir := &EdgeList{NumVertices: 3, Directed: true,
+		Edges: []Edge{{0, 1}, {0, 2}, {1, 2}}}
+	if got := dir.OutDegrees(); !reflect.DeepEqual(got, []uint32{2, 1, 0}) {
+		t.Fatalf("out degrees = %v", got)
+	}
+	if got := dir.InDegrees(); !reflect.DeepEqual(got, []uint32{0, 1, 2}) {
+		t.Fatalf("in degrees = %v", got)
+	}
+}
+
+func TestCSRMatchesPaperFigure1(t *testing.T) {
+	c := NewCSR(paperGraph(), false)
+	// 18 adjacency entries (both directions of 9 canonical edges).
+	wantBeg := []int64{0, 3, 6, 8, 9, 13, 16, 17, 18}
+	if !reflect.DeepEqual(c.BegPos, wantBeg) {
+		t.Fatalf("BegPos = %v, want %v", c.BegPos, wantBeg)
+	}
+	if got := c.Neighbors(4); len(got) != 4 {
+		t.Fatalf("vertex 4 neighbors = %v, want 4 entries", got)
+	}
+	if c.Degree(3) != 1 || c.Degree(0) != 3 {
+		t.Fatalf("degrees wrong: deg(3)=%d deg(0)=%d", c.Degree(3), c.Degree(0))
+	}
+}
+
+func TestCSRDirectedInOut(t *testing.T) {
+	el := &EdgeList{NumVertices: 4, Directed: true,
+		Edges: []Edge{{0, 1}, {0, 2}, {3, 2}, {1, 3}}}
+	out := NewCSR(el, false)
+	in := NewCSR(el, true)
+	if out.NumEdges() != 4 || in.NumEdges() != 4 {
+		t.Fatalf("edge counts: out=%d in=%d", out.NumEdges(), in.NumEdges())
+	}
+	if got := out.Neighbors(0); len(got) != 2 {
+		t.Fatalf("out neighbors of 0 = %v", got)
+	}
+	if got := in.Neighbors(2); len(got) != 2 {
+		t.Fatalf("in neighbors of 2 = %v", got)
+	}
+	if got := in.Neighbors(0); len(got) != 0 {
+		t.Fatalf("in neighbors of 0 = %v, want none", got)
+	}
+}
+
+func TestRefBFSPaperGraph(t *testing.T) {
+	c := NewCSR(paperGraph(), false)
+	depth := RefBFS(c, 0)
+	want := []int32{0, 1, 2, 1, 1, 2, 3, 3}
+	if !reflect.DeepEqual(depth, want) {
+		t.Fatalf("BFS depths = %v, want %v", depth, want)
+	}
+}
+
+func TestRefBFSUnreachable(t *testing.T) {
+	el := &EdgeList{NumVertices: 4, Edges: []Edge{{0, 1}}}
+	c := NewCSR(el, false)
+	depth := RefBFS(c, 0)
+	if depth[2] != InfDepth || depth[3] != InfDepth {
+		t.Fatalf("isolated vertices reached: %v", depth)
+	}
+	if depth[1] != 1 {
+		t.Fatalf("depth[1] = %d", depth[1])
+	}
+}
+
+func TestRefBFSRootOutOfRange(t *testing.T) {
+	el := &EdgeList{NumVertices: 2, Edges: []Edge{{0, 1}}}
+	c := NewCSR(el, false)
+	depth := RefBFS(c, 99)
+	for v, d := range depth {
+		if d != InfDepth {
+			t.Fatalf("vertex %d reached from out-of-range root", v)
+		}
+	}
+}
+
+func TestRefPageRankSumsToOne(t *testing.T) {
+	c := NewCSR(paperGraph(), false)
+	rank := RefPageRank(c, DefaultPageRank(20))
+	sum := 0.0
+	for _, r := range rank {
+		sum += r
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("ranks sum to %v, want 1", sum)
+	}
+	// Vertex 4 has the largest degree and must have the largest rank.
+	for v, r := range rank {
+		if v != 4 && r >= rank[4] {
+			t.Fatalf("rank[%d]=%v >= rank[4]=%v", v, r, rank[4])
+		}
+	}
+}
+
+func TestRefPageRankDangling(t *testing.T) {
+	// 0 -> 1, 1 has no out-edges: dangling mass must be redistributed,
+	// keeping the sum at 1.
+	el := &EdgeList{NumVertices: 2, Directed: true, Edges: []Edge{{0, 1}}}
+	c := NewCSR(el, false)
+	rank := RefPageRank(c, DefaultPageRank(30))
+	sum := rank[0] + rank[1]
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("dangling sum = %v", sum)
+	}
+	if rank[1] <= rank[0] {
+		t.Fatalf("sink should outrank source: %v", rank)
+	}
+}
+
+func TestRefWCC(t *testing.T) {
+	el := paperGraph()
+	labels := RefWCC(el)
+	for v, l := range labels {
+		if l != 0 {
+			t.Fatalf("vertex %d label %d, want 0 (single component)", v, l)
+		}
+	}
+
+	two := &EdgeList{NumVertices: 6, Edges: []Edge{{0, 1}, {1, 2}, {4, 5}}}
+	labels = RefWCC(two)
+	want := []VertexID{0, 0, 0, 3, 4, 4}
+	if !reflect.DeepEqual(labels, want) {
+		t.Fatalf("labels = %v, want %v", labels, want)
+	}
+	if ComponentCount(labels) != 3 {
+		t.Fatalf("components = %d, want 3", ComponentCount(labels))
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	el := paperGraph()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, el); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != len(el.Edges)*EdgeTupleBytes {
+		t.Fatalf("wrote %d bytes, want %d", buf.Len(), len(el.Edges)*EdgeTupleBytes)
+	}
+	got, err := ReadEdgeList(&buf, el.NumVertices, el.Directed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Edges, el.Edges) {
+		t.Fatalf("round trip mismatch:\n got %v\nwant %v", got.Edges, el.Edges)
+	}
+}
+
+func TestReadEdgeListTruncated(t *testing.T) {
+	raw := bytes.Repeat([]byte{1}, EdgeTupleBytes+3) // one full tuple + junk
+	_, err := ReadEdgeList(bytes.NewReader(raw), 1<<20, true)
+	if err == nil {
+		t.Fatal("truncated edge list accepted")
+	}
+}
+
+func TestEdgeListSizeBytes(t *testing.T) {
+	if got := EdgeListSizeBytes(100, true); got != 800 {
+		t.Fatalf("directed size = %d", got)
+	}
+	if got := EdgeListSizeBytes(100, false); got != 1600 {
+		t.Fatalf("undirected size = %d", got)
+	}
+}
+
+// Property: WCC labels are idempotent under canonicalization and edge
+// duplication — duplicating edges or flipping their direction must not
+// change components.
+func TestQuickWCCInvariance(t *testing.T) {
+	f := func(raw []uint16, nv uint8) bool {
+		n := uint32(nv)%64 + 2
+		el := &EdgeList{NumVertices: n}
+		for i := 0; i+1 < len(raw); i += 2 {
+			el.Edges = append(el.Edges,
+				Edge{uint32(raw[i]) % n, uint32(raw[i+1]) % n})
+		}
+		base := RefWCC(el)
+		flipped := &EdgeList{NumVertices: n}
+		for _, e := range el.Edges {
+			flipped.Edges = append(flipped.Edges, Edge{e.Dst, e.Src})
+			flipped.Edges = append(flipped.Edges, e) // duplicate
+		}
+		return reflect.DeepEqual(base, RefWCC(flipped))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BFS depths satisfy the triangle property — adjacent vertices'
+// depths differ by at most one, and every reached non-root vertex has a
+// neighbor one level above it.
+func TestQuickBFSDepthConsistency(t *testing.T) {
+	f := func(raw []uint16, nv uint8) bool {
+		n := uint32(nv)%64 + 2
+		el := &EdgeList{NumVertices: n}
+		for i := 0; i+1 < len(raw); i += 2 {
+			el.Edges = append(el.Edges,
+				Edge{uint32(raw[i]) % n, uint32(raw[i+1]) % n})
+		}
+		c := NewCSR(el, false)
+		depth := RefBFS(c, 0)
+		for v := VertexID(0); v < n; v++ {
+			for _, w := range c.Neighbors(v) {
+				dv, dw := depth[v], depth[w]
+				if dv == InfDepth != (dw == InfDepth) {
+					return false // one side reached, other not
+				}
+				if dv != InfDepth && dw-dv > 1 {
+					return false
+				}
+			}
+			if depth[v] > 0 {
+				ok := false
+				for _, w := range c.Neighbors(v) {
+					if depth[w] == depth[v]-1 {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CSR preserves the multiset of edges.
+func TestQuickCSREdgeCount(t *testing.T) {
+	f := func(raw []uint16, nv uint8) bool {
+		n := uint32(nv)%128 + 1
+		el := &EdgeList{NumVertices: n, Directed: true}
+		for i := 0; i+1 < len(raw); i += 2 {
+			el.Edges = append(el.Edges,
+				Edge{uint32(raw[i]) % n, uint32(raw[i+1]) % n})
+		}
+		c := NewCSR(el, false)
+		return c.NumEdges() == int64(len(el.Edges))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+package graph
+
+// Reference implementations of the paper's three algorithms (§II-B).
+// These are deliberately simple, single-threaded, in-memory versions used
+// as ground truth in tests; the out-of-core engines must produce identical
+// results (BFS depths, WCC labels) or numerically close results (PageRank).
+
+// InfDepth marks an unreached vertex in BFS results.
+const InfDepth = int32(-1)
+
+// RefBFS runs a level-synchronous breadth-first search from root over the
+// CSR and returns the depth of every vertex (InfDepth if unreachable).
+func RefBFS(c *CSR, root VertexID) []int32 {
+	depth := make([]int32, c.NumVertices)
+	for i := range depth {
+		depth[i] = InfDepth
+	}
+	if root >= c.NumVertices {
+		return depth
+	}
+	depth[root] = 0
+	frontier := []VertexID{root}
+	for level := int32(0); len(frontier) > 0; level++ {
+		var next []VertexID
+		for _, v := range frontier {
+			for _, w := range c.Neighbors(v) {
+				if depth[w] == InfDepth {
+					depth[w] = level + 1
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return depth
+}
+
+// PageRankOptions configures the reference PageRank.
+type PageRankOptions struct {
+	Damping    float64 // typically 0.85
+	Iterations int     // fixed iteration count (paper runs fixed iterations)
+}
+
+// DefaultPageRank matches the configuration used throughout the paper's
+// evaluation: damping 0.85.
+func DefaultPageRank(iters int) PageRankOptions {
+	return PageRankOptions{Damping: 0.85, Iterations: iters}
+}
+
+// RefPageRank runs the classic synchronous PageRank over out-edge CSR
+// adjacency. Each vertex divides its rank by its out-degree and transmits
+// it along out-edges (§II-B). Dangling mass is redistributed uniformly so
+// ranks stay a probability distribution.
+func RefPageRank(c *CSR, opt PageRankOptions) []float64 {
+	n := int(c.NumVertices)
+	if n == 0 {
+		return nil
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	inv := 1.0 / float64(n)
+	for i := range rank {
+		rank[i] = inv
+	}
+	for it := 0; it < opt.Iterations; it++ {
+		dangling := 0.0
+		for v := 0; v < n; v++ {
+			d := c.Degree(VertexID(v))
+			if d == 0 {
+				dangling += rank[v]
+				continue
+			}
+			share := rank[v] / float64(d)
+			for _, w := range c.Neighbors(VertexID(v)) {
+				next[w] += share
+			}
+		}
+		base := (1-opt.Damping)*inv + opt.Damping*dangling*inv
+		for v := 0; v < n; v++ {
+			next[v] = base + opt.Damping*next[v]
+		}
+		rank, next = next, rank
+		for i := range next {
+			next[i] = 0
+		}
+	}
+	return rank
+}
+
+// RefWCC computes weakly connected components with a union-find and
+// returns, for every vertex, the smallest vertex ID in its component —
+// the same fixed point the label-propagation algorithm (Algorithm 2)
+// converges to.
+func RefWCC(el *EdgeList) []VertexID {
+	parent := make([]VertexID, el.NumVertices)
+	for i := range parent {
+		parent[i] = VertexID(i)
+	}
+	var find func(VertexID) VertexID
+	find = func(x VertexID) VertexID {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b VertexID) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if ra < rb {
+			parent[rb] = ra
+		} else {
+			parent[ra] = rb
+		}
+	}
+	for _, e := range el.Edges {
+		union(e.Src, e.Dst)
+	}
+	labels := make([]VertexID, el.NumVertices)
+	for i := range labels {
+		labels[i] = find(VertexID(i))
+	}
+	// The union order above does not guarantee the root is the minimum of
+	// the component, so normalize: a second pass mapping roots to the
+	// minimum member seen.
+	minOf := make(map[VertexID]VertexID)
+	for v, r := range labels {
+		if m, ok := minOf[r]; !ok || VertexID(v) < m {
+			minOf[r] = VertexID(v)
+		}
+	}
+	for v, r := range labels {
+		labels[v] = minOf[r]
+	}
+	return labels
+}
+
+// ComponentCount returns the number of distinct labels.
+func ComponentCount(labels []VertexID) int {
+	seen := make(map[VertexID]struct{}, 64)
+	for _, l := range labels {
+		seen[l] = struct{}{}
+	}
+	return len(seen)
+}

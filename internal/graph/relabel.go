@@ -1,0 +1,106 @@
+package graph
+
+import "sort"
+
+// Vertex relabeling is the standard locality preprocessing for 2D
+// partitioned stores (the paper's physical grouping draws on
+// locality-aware placement [34]; systems like GridGraph ship a
+// degree-sort pass): renumbering vertices by descending degree clusters
+// the hubs of a power-law graph into the lowest IDs, which concentrates
+// edges into the top-left tiles of the grid — fewer, denser tiles with
+// better metadata locality.
+
+// Permutation maps old vertex IDs to new ones.
+type Permutation []VertexID
+
+// Inverse returns the inverse permutation (new ID -> old ID).
+func (p Permutation) Inverse() Permutation {
+	inv := make(Permutation, len(p))
+	for old, nw := range p {
+		inv[nw] = VertexID(old)
+	}
+	return inv
+}
+
+// Valid reports whether p is a bijection over its index space.
+func (p Permutation) Valid() bool {
+	seen := make([]bool, len(p))
+	for _, nw := range p {
+		if int(nw) >= len(p) || seen[nw] {
+			return false
+		}
+		seen[nw] = true
+	}
+	return true
+}
+
+// RelabelByDegree renumbers el's vertices by descending degree (ties by
+// original ID) and returns the rewritten edge list plus the permutation
+// (old ID -> new ID). The input is not modified.
+func RelabelByDegree(el *EdgeList) (*EdgeList, Permutation) {
+	deg := el.OutDegrees()
+	order := make([]VertexID, el.NumVertices)
+	for i := range order {
+		order[i] = VertexID(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := deg[order[a]], deg[order[b]]
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	perm := make(Permutation, el.NumVertices)
+	for newID, oldID := range order {
+		perm[oldID] = VertexID(newID)
+	}
+	return ApplyPermutation(el, perm), perm
+}
+
+// ApplyPermutation rewrites el's endpoints through perm (old -> new).
+// Undirected outputs are re-canonicalized.
+func ApplyPermutation(el *EdgeList, perm Permutation) *EdgeList {
+	out := &EdgeList{
+		NumVertices: el.NumVertices,
+		Directed:    el.Directed,
+		Edges:       make([]Edge, len(el.Edges)),
+	}
+	for i, e := range el.Edges {
+		ne := Edge{Src: perm[e.Src], Dst: perm[e.Dst]}
+		if !el.Directed {
+			ne = ne.Canon()
+		}
+		out.Edges[i] = ne
+	}
+	return out
+}
+
+// PermuteInt32 translates a per-vertex result computed on the relabeled
+// graph back to original vertex order: out[oldID] = in[perm[oldID]].
+func PermuteInt32(in []int32, perm Permutation) []int32 {
+	out := make([]int32, len(in))
+	for old, nw := range perm {
+		out[old] = in[nw]
+	}
+	return out
+}
+
+// PermuteFloat64 is PermuteInt32 for float64 results.
+func PermuteFloat64(in []float64, perm Permutation) []float64 {
+	out := make([]float64, len(in))
+	for old, nw := range perm {
+		out[old] = in[nw]
+	}
+	return out
+}
+
+// PermuteLabels translates component labels back to original vertex
+// order, including the label values themselves (labels are vertex IDs).
+func PermuteLabels(in []VertexID, perm Permutation) []VertexID {
+	inv := perm.Inverse()
+	out := make([]VertexID, len(in))
+	for old, nw := range perm {
+		out[old] = inv[in[nw]]
+	}
+	return out
+}

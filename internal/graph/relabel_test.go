@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func relabelTestGraph() *EdgeList {
+	return &EdgeList{
+		NumVertices: 6,
+		Edges: []Edge{
+			{Src: 0, Dst: 5}, {Src: 1, Dst: 5}, {Src: 2, Dst: 5},
+			{Src: 3, Dst: 4},
+		},
+	}
+}
+
+func TestRelabelByDegreeOrdersHubsFirst(t *testing.T) {
+	el := relabelTestGraph()
+	out, perm := RelabelByDegree(el)
+	if !perm.Valid() {
+		t.Fatalf("invalid permutation %v", perm)
+	}
+	// Vertex 5 has degree 3 and must become vertex 0.
+	if perm[5] != 0 {
+		t.Fatalf("hub got new ID %d, want 0", perm[5])
+	}
+	deg := out.OutDegrees()
+	for v := 0; v+1 < len(deg); v++ {
+		if deg[v] < deg[v+1] {
+			t.Fatalf("degrees not descending: %v", deg)
+		}
+	}
+	// The input must be untouched.
+	if !reflect.DeepEqual(el, relabelTestGraph()) {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestPermutationInverse(t *testing.T) {
+	p := Permutation{2, 0, 1}
+	inv := p.Inverse()
+	want := Permutation{1, 2, 0}
+	if !reflect.DeepEqual(inv, want) {
+		t.Fatalf("Inverse = %v, want %v", inv, want)
+	}
+	if !p.Valid() {
+		t.Fatal("valid permutation rejected")
+	}
+	if (Permutation{0, 0, 1}).Valid() {
+		t.Fatal("duplicate accepted")
+	}
+	if (Permutation{0, 3}).Valid() {
+		t.Fatal("out-of-range accepted")
+	}
+}
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	el := relabelTestGraph()
+	out, perm := RelabelByDegree(el)
+
+	// BFS from old vertex 0 == BFS from its new ID, translated back.
+	csrOld := NewCSR(el, false)
+	csrNew := NewCSR(out, false)
+	wantDepth := RefBFS(csrOld, 0)
+	gotDepth := PermuteInt32(RefBFS(csrNew, perm[0]), perm)
+	if !reflect.DeepEqual(gotDepth, wantDepth) {
+		t.Fatalf("BFS depths differ after relabeling:\n got %v\nwant %v", gotDepth, wantDepth)
+	}
+
+	// Components must induce the same partition.
+	wantComp := RefWCC(el)
+	gotComp := PermuteLabels(RefWCC(out), perm)
+	if !samePartition(wantComp, gotComp) {
+		t.Fatalf("WCC partition differs:\n got %v\nwant %v", gotComp, wantComp)
+	}
+}
+
+func samePartition(a, b []VertexID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[VertexID]VertexID{}
+	seen := map[VertexID]bool{}
+	for i := range a {
+		if mapped, ok := m[a[i]]; ok {
+			if mapped != b[i] {
+				return false
+			}
+			continue
+		}
+		if seen[b[i]] {
+			return false
+		}
+		m[a[i]] = b[i]
+		seen[b[i]] = true
+	}
+	return true
+}
+
+func TestPermuteFloat64(t *testing.T) {
+	perm := Permutation{2, 0, 1}
+	in := []float64{10, 20, 30} // indexed by new IDs
+	out := PermuteFloat64(in, perm)
+	// old 0 -> new 2 -> 30; old 1 -> new 0 -> 10; old 2 -> new 1 -> 20
+	want := []float64{30, 10, 20}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("PermuteFloat64 = %v, want %v", out, want)
+	}
+}
+
+// Property: relabeling is structure-preserving for random graphs — BFS
+// from every vertex matches after translation.
+func TestQuickRelabelIsomorphism(t *testing.T) {
+	f := func(raw []uint16, nv uint8) bool {
+		n := uint32(nv)%32 + 2
+		el := &EdgeList{NumVertices: n}
+		for i := 0; i+1 < len(raw); i += 2 {
+			el.Edges = append(el.Edges,
+				Edge{Src: uint32(raw[i]) % n, Dst: uint32(raw[i+1]) % n}.Canon())
+		}
+		out, perm := RelabelByDegree(el)
+		if !perm.Valid() {
+			return false
+		}
+		csrOld := NewCSR(el, false)
+		csrNew := NewCSR(out, false)
+		for root := VertexID(0); root < n; root += 3 {
+			want := RefBFS(csrOld, root)
+			got := PermuteInt32(RefBFS(csrNew, perm[root]), perm)
+			if !reflect.DeepEqual(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package graph
+
+// RefSCC computes strongly connected components of a directed edge list
+// with an iterative Tarjan algorithm and returns, for every vertex, the
+// smallest vertex ID in its SCC. It is the ground truth for the
+// tile-based SCC kernel (the algorithm the paper's §IV-A singles out as
+// needing both in- and out-edges, which tiles provide for free).
+func RefSCC(el *EdgeList) []VertexID {
+	n := el.NumVertices
+	csr := NewCSR(el, false) // out-edges
+	const undef = int32(-1)
+
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	comp := make([]VertexID, n)
+	for i := range index {
+		index[i] = undef
+		comp[i] = VertexID(i)
+	}
+
+	var stack []VertexID
+	next := int32(0)
+
+	// Explicit DFS stack: (vertex, next-edge-offset) frames.
+	type frame struct {
+		v   VertexID
+		ei  int64
+		end int64
+	}
+	var dfs []frame
+
+	push := func(v VertexID) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		dfs = append(dfs, frame{v: v, ei: csr.BegPos[v], end: csr.BegPos[v+1]})
+	}
+
+	for root := VertexID(0); root < n; root++ {
+		if index[root] != undef {
+			continue
+		}
+		push(root)
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			advanced := false
+			for f.ei < f.end {
+				w := csr.Adj[f.ei]
+				f.ei++
+				if index[w] == undef {
+					push(w)
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// f.v is finished.
+			v := f.v
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				p := &dfs[len(dfs)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				// v is an SCC root: pop its component and label with the
+				// minimum member.
+				min := v
+				start := len(stack)
+				for {
+					start--
+					w := stack[start]
+					if w < min {
+						min = w
+					}
+					if w == v {
+						break
+					}
+				}
+				for _, w := range stack[start:] {
+					onStack[w] = false
+					comp[w] = min
+				}
+				stack = stack[:start]
+			}
+		}
+	}
+	return comp
+}

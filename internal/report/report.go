@@ -1,0 +1,182 @@
+// Package report prints the aligned text tables the experiment harness
+// emits for every figure and table of the paper.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table accumulates rows and prints them with aligned columns.
+type Table struct {
+	Title  string
+	header []string
+	rows   [][]string
+}
+
+// New creates a table with a title and column headers.
+func New(title string, header ...string) *Table {
+	return &Table{Title: title, header: header}
+}
+
+// Row appends one row; cells are formatted with Cell.
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = Cell(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Cell formats one value: durations to millisecond precision, floats to
+// two decimals, everything else with %v.
+func Cell(v interface{}) string {
+	switch x := v.(type) {
+	case time.Duration:
+		return x.Round(time.Millisecond).String()
+	case float64:
+		return fmt.Sprintf("%.2f", x)
+	case float32:
+		return fmt.Sprintf("%.2f", x)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// Fprint writes the table to w.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Bytes renders a byte count in human units (powers of 1024).
+func Bytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%dB", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.2f%cB", float64(n)/float64(div), "KMGTPE"[exp])
+}
+
+// Speedup renders a ratio like "2.41x".
+func Speedup(base, other time.Duration) string {
+	if other <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2fx", float64(base)/float64(other))
+}
+
+// Ratio renders a/b with two decimals and an "x" suffix.
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2fx", a/b)
+}
+
+// Histogram accumulates values into power-of-two buckets and prints a
+// text bar chart — the form the paper's distribution figures (5 and 7)
+// take.
+type Histogram struct {
+	Title string
+	// counts[i] holds values in [2^(i-1), 2^i); counts[0] holds zeros.
+	counts []int64
+	total  int64
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram(title string) *Histogram {
+	return &Histogram{Title: title}
+}
+
+// Add records one value.
+func (h *Histogram) Add(v int64) {
+	b := 0
+	for x := v; x > 0; x >>= 1 {
+		b++
+	}
+	for len(h.counts) <= b {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[b]++
+	h.total++
+}
+
+// Total returns the number of recorded values.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Fprint renders the histogram with proportional bars.
+func (h *Histogram) Fprint(w io.Writer) {
+	if h.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", h.Title)
+	}
+	var max int64
+	for _, c := range h.counts {
+		if c > max {
+			max = c
+		}
+	}
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		label := "0"
+		if b > 0 {
+			label = fmt.Sprintf("<%d", int64(1)<<uint(b))
+		}
+		bar := ""
+		if max > 0 {
+			bar = strings.Repeat("#", int(40*c/max))
+		}
+		fmt.Fprintf(w, "%-12s %8d (%5.1f%%) %s\n", label, c,
+			100*float64(c)/float64(h.total), bar)
+	}
+	fmt.Fprintln(w)
+}

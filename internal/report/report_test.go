@@ -1,0 +1,90 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("Demo", "name", "time", "ratio")
+	tb.Row("bfs", 1500*time.Millisecond, 2.4)
+	tb.Row("pagerank-long-name", time.Second, 1.0)
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Line 2 is the separator (after title and header).
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Fatalf("separator misplaced: %q", lines[2])
+	}
+	if !strings.Contains(out, "1.5s") || !strings.Contains(out, "2.40") {
+		t.Fatalf("cell formatting wrong:\n%s", out)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:           "512B",
+		2048:          "2.00KB",
+		3 << 20:       "3.00MB",
+		5 << 30:       "5.00GB",
+		1<<40 + 1<<39: "1.50TB",
+	}
+	for n, want := range cases {
+		if got := Bytes(n); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestSpeedupAndRatio(t *testing.T) {
+	if got := Speedup(2*time.Second, time.Second); got != "2.00x" {
+		t.Fatalf("Speedup = %q", got)
+	}
+	if got := Speedup(time.Second, 0); got != "inf" {
+		t.Fatalf("Speedup zero = %q", got)
+	}
+	if got := Ratio(6, 3); got != "2.00x" {
+		t.Fatalf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0); got != "inf" {
+		t.Fatalf("Ratio zero = %q", got)
+	}
+}
+
+func TestCell(t *testing.T) {
+	if Cell(float32(1.239)) != "1.24" {
+		t.Fatal("float32 formatting")
+	}
+	if Cell(42) != "42" {
+		t.Fatal("int formatting")
+	}
+	if Cell(1234*time.Microsecond) != "1ms" {
+		t.Fatalf("duration formatting: %s", Cell(1234*time.Microsecond))
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram("demo")
+	for _, v := range []int64{0, 0, 1, 2, 3, 4, 7, 8, 1000} {
+		h.Add(v)
+	}
+	if h.Total() != 9 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	var sb strings.Builder
+	h.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== demo ==", "0 ", "<2", "<4", "<8", "<16", "<1024", "#"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("histogram missing %q:\n%s", want, out)
+		}
+	}
+}

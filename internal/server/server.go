@@ -1,0 +1,421 @@
+// Package server exposes converted graphs over HTTP: the "store" face of
+// G-Store. One process serves any number of converted graphs; each
+// algorithm request runs through the slide-cache-rewind engine and
+// returns a JSON summary (full per-vertex results are available paged).
+//
+// Endpoints:
+//
+//	GET  /healthz                     — liveness
+//	GET  /graphs                      — list loaded graphs
+//	GET  /graphs/{name}               — one graph's metadata
+//	POST /graphs/{name}/bfs           — {"root":0,"async":false}
+//	POST /graphs/{name}/msbfs         — {"roots":[0,1,2]}
+//	POST /graphs/{name}/pagerank      — {"iterations":10,"top":10}
+//	POST /graphs/{name}/wcc           — {}
+//	POST /graphs/{name}/scc           — {} (directed graphs only)
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/gwu-systems/gstore/internal/algo"
+	"github.com/gwu-systems/gstore/internal/core"
+	"github.com/gwu-systems/gstore/internal/tile"
+)
+
+// GraphHandle is one served graph: the open tile store, its engine, and
+// a mutex serializing runs (an engine executes one algorithm at a time).
+type GraphHandle struct {
+	Name   string
+	Graph  *tile.Graph
+	engine *core.Engine
+	mu     sync.Mutex
+}
+
+// Server routes requests to its graphs.
+type Server struct {
+	mu     sync.RWMutex
+	graphs map[string]*GraphHandle
+}
+
+// New creates an empty server.
+func New() *Server {
+	return &Server{graphs: make(map[string]*GraphHandle)}
+}
+
+// AddGraph opens the graph at basePath and serves it under name. opts
+// configures its engine.
+func (s *Server) AddGraph(name, basePath string, opts core.Options) error {
+	g, err := tile.Open(basePath)
+	if err != nil {
+		return err
+	}
+	eng, err := core.NewEngine(g, opts)
+	if err != nil {
+		g.Close()
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.graphs[name]; dup {
+		eng.Close()
+		g.Close()
+		return fmt.Errorf("server: graph %q already loaded", name)
+	}
+	s.graphs[name] = &GraphHandle{Name: name, Graph: g, engine: eng}
+	return nil
+}
+
+// Close releases every graph.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, h := range s.graphs {
+		h.engine.Close()
+		h.Graph.Close()
+	}
+	s.graphs = map[string]*GraphHandle{}
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/graphs", s.handleList)
+	mux.HandleFunc("/graphs/", s.handleGraph)
+	return mux
+}
+
+func (s *Server) lookup(name string) *GraphHandle {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.graphs[name]
+}
+
+type graphInfo struct {
+	Name        string `json:"name"`
+	Vertices    uint32 `json:"vertices"`
+	Edges       int64  `json:"edges"`
+	StoredEdges int64  `json:"stored_tuples"`
+	Directed    bool   `json:"directed"`
+	Half        bool   `json:"half_stored"`
+	TileBits    uint   `json:"tile_bits"`
+	Tiles       int    `json:"tiles"`
+	DataBytes   int64  `json:"data_bytes"`
+}
+
+func info(h *GraphHandle) graphInfo {
+	m := h.Graph.Meta
+	return graphInfo{
+		Name:        h.Name,
+		Vertices:    m.NumVertices,
+		Edges:       m.NumOriginal,
+		StoredEdges: m.NumStored,
+		Directed:    m.Directed,
+		Half:        m.Half,
+		TileBits:    m.TileBits,
+		Tiles:       h.Graph.Layout.NumTiles(),
+		DataBytes:   h.Graph.DataBytes(),
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.RLock()
+	names := make([]string, 0, len(s.graphs))
+	for n := range s.graphs {
+		names = append(names, n)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]graphInfo, 0, len(names))
+	for _, n := range names {
+		out = append(out, info(s.lookup(n)))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/graphs/")
+	parts := strings.SplitN(rest, "/", 2)
+	h := s.lookup(parts[0])
+	if h == nil {
+		writeError(w, http.StatusNotFound, "unknown graph %q", parts[0])
+		return
+	}
+	if len(parts) == 1 || parts[1] == "" {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, http.StatusOK, info(h))
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	switch parts[1] {
+	case "bfs":
+		s.handleBFS(w, r, h)
+	case "khop":
+		s.handleKHop(w, r, h)
+	case "msbfs":
+		s.handleMSBFS(w, r, h)
+	case "pagerank":
+		s.handlePageRank(w, r, h)
+	case "wcc":
+		s.handleComponents(w, r, h, false)
+	case "scc":
+		s.handleComponents(w, r, h, true)
+	default:
+		writeError(w, http.StatusNotFound, "unknown operation %q", parts[1])
+	}
+}
+
+type runStats struct {
+	Iterations int     `json:"iterations"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	BytesRead  int64   `json:"bytes_read"`
+	CacheHits  int64   `json:"tiles_from_cache"`
+}
+
+func toStats(st *core.Stats) runStats {
+	return runStats{
+		Iterations: st.Iterations,
+		ElapsedMS:  float64(st.Elapsed) / float64(time.Millisecond),
+		BytesRead:  st.BytesRead,
+		CacheHits:  st.TilesFromCache,
+	}
+}
+
+// run serializes algorithm execution on one graph.
+func (h *GraphHandle) run(a algo.Algorithm) (*core.Stats, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.engine.Run(a)
+}
+
+func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request, h *GraphHandle) {
+	var req struct {
+		Root  uint32 `json:"root"`
+		Async bool   `json:"async"`
+	}
+	if !readJSON(w, r, &req) {
+		return
+	}
+	var depths []int32
+	var st *core.Stats
+	var err error
+	if req.Async {
+		a := algo.NewAsyncBFS(req.Root)
+		st, err = h.run(a)
+		if err == nil {
+			depths = a.Depths()
+		}
+	} else {
+		a := algo.NewBFS(req.Root)
+		st, err = h.run(a)
+		if err == nil {
+			depths = a.Depths()
+		}
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	reached := 0
+	maxDepth := int32(-1)
+	for _, d := range depths {
+		if d >= 0 {
+			reached++
+			if d > maxDepth {
+				maxDepth = d
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"root": req.Root, "reached": reached, "max_depth": maxDepth,
+		"stats": toStats(st),
+	})
+}
+
+// handleKHop answers neighborhood-size queries: how many vertices lie
+// within k hops of root (per ring and cumulative).
+func (s *Server) handleKHop(w http.ResponseWriter, r *http.Request, h *GraphHandle) {
+	var req struct {
+		Root uint32 `json:"root"`
+		K    int    `json:"k"`
+	}
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		req.K = 2
+	}
+	a := algo.NewBFS(req.Root)
+	st, err := h.run(a)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rings := make([]int, req.K+1)
+	beyond := 0
+	for _, d := range a.Depths() {
+		switch {
+		case d < 0:
+		case int(d) <= req.K:
+			rings[d]++
+		default:
+			beyond++
+		}
+	}
+	cum := 0
+	cums := make([]int, len(rings))
+	for i, n := range rings {
+		cum += n
+		cums[i] = cum
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"root": req.Root, "k": req.K,
+		"ring_sizes": rings, "cumulative": cums, "beyond_k": beyond,
+		"stats": toStats(st),
+	})
+}
+
+func (s *Server) handleMSBFS(w http.ResponseWriter, r *http.Request, h *GraphHandle) {
+	var req struct {
+		Roots []uint32 `json:"roots"`
+	}
+	if !readJSON(w, r, &req) {
+		return
+	}
+	a := algo.NewMSBFS(req.Roots)
+	st, err := h.run(a)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := make([]map[string]interface{}, len(req.Roots))
+	for i, root := range req.Roots {
+		reached := 0
+		for _, d := range a.Depth(i) {
+			if d >= 0 {
+				reached++
+			}
+		}
+		out[i] = map[string]interface{}{"root": root, "reached": reached}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"sources": out, "stats": toStats(st),
+	})
+}
+
+func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request, h *GraphHandle) {
+	var req struct {
+		Iterations int `json:"iterations"`
+		Top        int `json:"top"`
+	}
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Iterations <= 0 {
+		req.Iterations = 10
+	}
+	if req.Top <= 0 {
+		req.Top = 10
+	}
+	a := algo.NewPageRank(req.Iterations)
+	st, err := h.run(a)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	type vr struct {
+		Vertex uint32  `json:"vertex"`
+		Rank   float64 `json:"rank"`
+	}
+	ranks := a.Ranks()
+	top := make([]vr, 0, len(ranks))
+	for v, rank := range ranks {
+		top = append(top, vr{uint32(v), rank})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].Rank > top[j].Rank })
+	if len(top) > req.Top {
+		top = top[:req.Top]
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"top": top, "stats": toStats(st),
+	})
+}
+
+func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request, h *GraphHandle, strong bool) {
+	var req struct{}
+	if !readJSON(w, r, &req) {
+		return
+	}
+	var labels []uint32
+	var st *core.Stats
+	var err error
+	if strong {
+		a := algo.NewSCC()
+		st, err = h.run(a)
+		if err == nil {
+			labels = a.Labels()
+		}
+	} else {
+		a := algo.NewWCC()
+		st, err = h.run(a)
+		if err == nil {
+			labels = a.Labels()
+		}
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sizes := map[uint32]int{}
+	for _, l := range labels {
+		sizes[l]++
+	}
+	largest := 0
+	for _, n := range sizes {
+		if n > largest {
+			largest = n
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"components": len(sizes), "largest": largest, "stats": toStats(st),
+	})
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, into interface{}) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(into); err != nil && err != io.EOF {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

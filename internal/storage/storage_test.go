@@ -1,0 +1,338 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// memSource is an in-memory ReaderAt with optional fault injection.
+type memSource struct {
+	data      []byte
+	mu        sync.Mutex
+	failAt    int64 // offset whose reads fail; -1 disables
+	reads     int
+	errInject error
+}
+
+func newMemSource(n int) *memSource {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	return &memSource{data: data, failAt: -1}
+}
+
+func (m *memSource) ReadAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	m.reads++
+	fail := m.failAt >= 0 && off <= m.failAt && m.failAt < off+int64(len(p))
+	m.mu.Unlock()
+	if fail {
+		return 0, m.errInject
+	}
+	if off >= int64(len(m.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func TestOptionsValidation(t *testing.T) {
+	src := newMemSource(1024)
+	if _, err := NewArray(src, Options{NumDisks: 0}); err == nil {
+		t.Fatal("zero disks accepted")
+	}
+	if _, err := NewArray(src, Options{NumDisks: 2, Bandwidth: -1}); err == nil {
+		t.Fatal("negative bandwidth accepted")
+	}
+	a, err := NewArray(src, Options{NumDisks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if a.opts.StripeSize != DefaultStripeSize {
+		t.Fatalf("stripe defaulted to %d", a.opts.StripeSize)
+	}
+}
+
+func TestSingleRead(t *testing.T) {
+	src := newMemSource(1 << 20)
+	a, err := NewArray(src, Options{NumDisks: 4, StripeSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	buf := make([]byte, 10000) // crosses several stripes
+	if err := a.Submit([]*Request{{Offset: 1234, Buf: buf, Tag: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	comps := a.Wait(1, make([]Completion, 0, 4))
+	if len(comps) != 1 || comps[0].Tag != 7 || comps[0].Err != nil {
+		t.Fatalf("completions = %+v", comps)
+	}
+	if comps[0].N != len(buf) {
+		t.Fatalf("N = %d, want %d", comps[0].N, len(buf))
+	}
+	if !bytes.Equal(buf, src.data[1234:1234+10000]) {
+		t.Fatal("data mismatch")
+	}
+}
+
+func TestBatchedSubmit(t *testing.T) {
+	src := newMemSource(1 << 20)
+	a, err := NewArray(src, Options{NumDisks: 8, StripeSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	const n = 50
+	reqs := make([]*Request, n)
+	bufs := make([][]byte, n)
+	for i := range reqs {
+		bufs[i] = make([]byte, 3000+i)
+		reqs[i] = &Request{Offset: int64(i * 5000), Buf: bufs[i], Tag: int64(i)}
+	}
+	if err := a.Submit(reqs); err != nil {
+		t.Fatal(err)
+	}
+	var comps []Completion
+	for len(comps) < n {
+		comps = a.Wait(1, comps)
+	}
+	seen := map[int64]bool{}
+	for _, c := range comps {
+		if c.Err != nil {
+			t.Fatalf("tag %d failed: %v", c.Tag, c.Err)
+		}
+		seen[c.Tag] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("saw %d distinct tags", len(seen))
+	}
+	for i, b := range bufs {
+		if !bytes.Equal(b, src.data[i*5000:i*5000+len(b)]) {
+			t.Fatalf("request %d data mismatch", i)
+		}
+	}
+	st := a.Stats()
+	if st.Requests != n {
+		t.Fatalf("Requests = %d", st.Requests)
+	}
+	wantBytes := int64(0)
+	for _, b := range bufs {
+		wantBytes += int64(len(b))
+	}
+	if st.BytesRead != wantBytes {
+		t.Fatalf("BytesRead = %d, want %d", st.BytesRead, wantBytes)
+	}
+}
+
+func TestZeroLengthRequest(t *testing.T) {
+	src := newMemSource(100)
+	a, err := NewArray(src, Options{NumDisks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Submit([]*Request{{Offset: 10, Buf: nil, Tag: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	comps := a.Wait(1, make([]Completion, 0, 1))
+	if len(comps) != 1 || comps[0].Tag != 3 || comps[0].N != 0 || comps[0].Err != nil {
+		t.Fatalf("completions = %+v", comps)
+	}
+}
+
+func TestReadError(t *testing.T) {
+	src := newMemSource(1 << 16)
+	src.failAt = 5000
+	src.errInject = errors.New("injected disk error")
+	a, err := NewArray(src, Options{NumDisks: 2, StripeSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	buf := make([]byte, 8192)
+	if err := a.Submit([]*Request{{Offset: 0, Buf: buf, Tag: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	comps := a.Wait(1, make([]Completion, 0, 1))
+	if len(comps) != 1 || comps[0].Err == nil {
+		t.Fatalf("expected error completion, got %+v", comps)
+	}
+}
+
+func TestReadSync(t *testing.T) {
+	src := newMemSource(1 << 16)
+	a, err := NewArray(src, Options{NumDisks: 2, StripeSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	buf := make([]byte, 2000)
+	if err := a.ReadSync(100, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, src.data[100:2100]) {
+		t.Fatal("ReadSync data mismatch")
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	src := newMemSource(100)
+	a, err := NewArray(src, Options{NumDisks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	if err := a.Submit([]*Request{{Offset: 0, Buf: make([]byte, 1)}}); err == nil {
+		t.Fatal("Submit after Close succeeded")
+	}
+	a.Close() // double close must be safe
+}
+
+// Throughput through the throttle model must scale with the number of
+// disks: reading the same data on 4 disks should take roughly a quarter
+// of 1 disk (this is the mechanism behind Figure 15).
+func TestThrottleScaling(t *testing.T) {
+	src := newMemSource(1 << 20)
+	elapsed := func(disks int) time.Duration {
+		a, err := NewArray(src, Options{
+			NumDisks:   disks,
+			StripeSize: 4096,
+			Bandwidth:  100 << 20, // 100 MB/s per disk
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		begin := time.Now()
+		var reqs []*Request
+		for off := int64(0); off < 1<<20; off += 65536 {
+			reqs = append(reqs, &Request{Offset: off, Buf: make([]byte, 65536), Tag: off})
+		}
+		if err := a.Submit(reqs); err != nil {
+			t.Fatal(err)
+		}
+		comps := make([]Completion, 0, len(reqs))
+		for len(comps) < len(reqs) {
+			comps = a.Wait(len(reqs), comps)
+		}
+		return time.Since(begin)
+	}
+	t1 := elapsed(1)
+	t4 := elapsed(4)
+	if t4 >= t1*2/3 {
+		t.Fatalf("4 disks (%v) not meaningfully faster than 1 (%v)", t4, t1)
+	}
+}
+
+// Property: any (offset, length) read within the source returns exactly
+// the source bytes, for random stripe sizes and disk counts.
+func TestQuickReadCorrectness(t *testing.T) {
+	src := newMemSource(1 << 18)
+	f := func(rawOff uint32, rawLen uint16, rawDisks, rawStripe uint8) bool {
+		off := int64(rawOff) % (1 << 17)
+		length := int(rawLen)%(1<<14) + 1
+		disks := int(rawDisks)%8 + 1
+		stripe := int64(rawStripe)%2048 + 64
+		a, err := NewArray(src, Options{NumDisks: disks, StripeSize: stripe})
+		if err != nil {
+			return false
+		}
+		defer a.Close()
+		buf := make([]byte, length)
+		if err := a.ReadSync(off, buf); err != nil {
+			return false
+		}
+		return bytes.Equal(buf, src.data[off:off+int64(length)])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RAID-0 chunking is a partition — chunk count equals the
+// number of stripe boundaries crossed plus one.
+func TestQuickChunking(t *testing.T) {
+	src := newMemSource(1)
+	f := func(rawOff uint32, rawLen uint16, rawStripe uint8) bool {
+		stripe := int64(rawStripe)%4096 + 16
+		a, err := NewArray(src, Options{NumDisks: 3, StripeSize: stripe})
+		if err != nil {
+			return false
+		}
+		defer a.Close()
+		off := int64(rawOff) % (1 << 20)
+		length := int64(rawLen) + 1
+		st := &reqState{}
+		chunks := a.split(st, &Request{Offset: off, Buf: make([]byte, length)})
+		firstStripe := off / stripe
+		lastStripe := (off + length - 1) / stripe
+		if int64(len(chunks)) != lastStripe-firstStripe+1 {
+			return false
+		}
+		// Chunks must be contiguous and cover [off, off+length).
+		pos := off
+		total := int64(0)
+		for _, c := range chunks {
+			if c.offset != pos {
+				return false
+			}
+			pos += int64(len(c.buf))
+			total += int64(len(c.buf))
+		}
+		return total == length
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitBatching(t *testing.T) {
+	src := newMemSource(1 << 16)
+	a, err := NewArray(src, Options{NumDisks: 2, StripeSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	var reqs []*Request
+	for i := 0; i < 10; i++ {
+		reqs = append(reqs, &Request{Offset: int64(i * 100), Buf: make([]byte, 100), Tag: int64(i)})
+	}
+	if err := a.Submit(reqs); err != nil {
+		t.Fatal(err)
+	}
+	// Wait(3) must return at least 3 completions.
+	comps := a.Wait(3, nil)
+	if len(comps) < 3 {
+		t.Fatalf("Wait(3) returned %d", len(comps))
+	}
+	for len(comps) < 10 {
+		comps = a.Wait(1, comps)
+	}
+	if len(comps) != 10 {
+		t.Fatalf("received %d completions, want 10", len(comps))
+	}
+}
+
+func ExampleArray() {
+	src := bytes.NewReader([]byte("hello, tile data"))
+	a, _ := NewArray(src, Options{NumDisks: 2, StripeSize: 4})
+	defer a.Close()
+	buf := make([]byte, 5)
+	_ = a.ReadSync(7, buf)
+	fmt.Println(string(buf))
+	// Output: tile
+}

@@ -1,0 +1,55 @@
+package storage
+
+import (
+	"sync"
+	"time"
+)
+
+// Throttle charges byte traffic against an aggregate bandwidth/latency
+// budget by sleeping, modelling a disk array for sequential streams that
+// do not go through an Array (e.g. the update files the X-Stream baseline
+// writes and re-reads every iteration). A zero bandwidth disables it.
+type Throttle struct {
+	// Bandwidth is the aggregate sustained throughput in bytes/second.
+	Bandwidth float64
+	// Latency is charged once per Charge call.
+	Latency time.Duration
+
+	mu        sync.Mutex
+	busyUntil time.Time
+	busyTotal time.Duration
+}
+
+// Charge books the service time for n bytes and sleeps until the virtual
+// disk would have completed the transfer.
+func (t *Throttle) Charge(n int64) {
+	if t == nil || (t.Bandwidth <= 0 && t.Latency <= 0) {
+		return
+	}
+	service := t.Latency
+	if t.Bandwidth > 0 {
+		service += time.Duration(float64(n) / t.Bandwidth * float64(time.Second))
+	}
+	t.mu.Lock()
+	now := time.Now()
+	if t.busyUntil.Before(now) {
+		t.busyUntil = now
+	}
+	t.busyUntil = t.busyUntil.Add(service)
+	t.busyTotal += service
+	wake := t.busyUntil
+	t.mu.Unlock()
+	if d := time.Until(wake); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// BusyTime returns the total service time charged so far.
+func (t *Throttle) BusyTime() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.busyTotal
+}

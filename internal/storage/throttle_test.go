@@ -1,0 +1,64 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestThrottleDisabled(t *testing.T) {
+	var th Throttle // zero bandwidth: no-op
+	begin := time.Now()
+	th.Charge(1 << 30)
+	if time.Since(begin) > 50*time.Millisecond {
+		t.Fatal("disabled throttle slept")
+	}
+	if th.BusyTime() != 0 {
+		t.Fatalf("BusyTime = %v", th.BusyTime())
+	}
+	var nilTh *Throttle
+	nilTh.Charge(100) // must not panic
+	if nilTh.BusyTime() != 0 {
+		t.Fatal("nil throttle busy")
+	}
+}
+
+func TestThrottleCharges(t *testing.T) {
+	th := &Throttle{Bandwidth: 10 << 20} // 10 MB/s
+	begin := time.Now()
+	th.Charge(1 << 20) // 1 MB => ~100ms
+	elapsed := time.Since(begin)
+	if elapsed < 80*time.Millisecond {
+		t.Fatalf("1MB at 10MB/s took only %v", elapsed)
+	}
+	if th.BusyTime() < 90*time.Millisecond {
+		t.Fatalf("BusyTime = %v", th.BusyTime())
+	}
+}
+
+func TestThrottleSerializesConcurrentCharges(t *testing.T) {
+	th := &Throttle{Bandwidth: 20 << 20}
+	var wg sync.WaitGroup
+	begin := time.Now()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th.Charge(1 << 20) // 4 x 1MB at 20MB/s => >= 200ms total
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(begin); elapsed < 150*time.Millisecond {
+		t.Fatalf("concurrent charges not serialized: %v", elapsed)
+	}
+}
+
+func TestThrottleLatencyOnly(t *testing.T) {
+	th := &Throttle{Latency: 20 * time.Millisecond}
+	begin := time.Now()
+	th.Charge(1)
+	th.Charge(1)
+	if elapsed := time.Since(begin); elapsed < 30*time.Millisecond {
+		t.Fatalf("latency not charged: %v", elapsed)
+	}
+}

@@ -1,0 +1,216 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Device is the asynchronous block-device interface the engine consumes.
+// Array implements it; Tiered composes two of them.
+type Device interface {
+	// Submit enqueues a batch of read requests.
+	Submit(reqs []*Request) error
+	// Wait blocks for at least min further completions and drains what
+	// else is ready.
+	Wait(min int, out []Completion) []Completion
+	// ReadSync performs one synchronous read.
+	ReadSync(offset int64, buf []byte) error
+	// Stats snapshots the device counters.
+	Stats() Stats
+	// Close releases the device.
+	Close()
+}
+
+var _ Device = (*Array)(nil)
+
+// Tiered is the tiered store of the paper's future work (§IX): bytes
+// below Boundary live on a fast device (the SSD array), bytes at or above
+// it on a slow one (a set of hard drives). Requests spanning the boundary
+// are split and their completions merged.
+type Tiered struct {
+	fast, slow Device
+	boundary   int64
+
+	completions chan Completion
+	pumps       sync.WaitGroup
+	nextID      atomic.Int64
+	pending     sync.Map // internal id -> *tieredReq
+	closed      atomic.Bool
+}
+
+type tieredReq struct {
+	tag       int64
+	remaining int32
+	n         int32
+	err       atomic.Value
+}
+
+// NewTiered builds a tiered device. It takes ownership of fast and slow:
+// Close closes both.
+func NewTiered(fast, slow Device, boundary int64) (*Tiered, error) {
+	if boundary < 0 {
+		return nil, errors.New("storage: negative tier boundary")
+	}
+	t := &Tiered{fast: fast, slow: slow, boundary: boundary,
+		completions: make(chan Completion, 4096)}
+	for _, d := range []Device{fast, slow} {
+		t.pumps.Add(1)
+		go t.pump(d)
+	}
+	return t, nil
+}
+
+// pump forwards one sub-device's completions into the merged channel.
+func (t *Tiered) pump(d Device) {
+	defer t.pumps.Done()
+	for {
+		comps := d.Wait(1, nil)
+		if len(comps) == 0 {
+			return // device closed
+		}
+		for _, c := range comps {
+			v, ok := t.pending.Load(c.Tag)
+			if !ok {
+				continue
+			}
+			req := v.(*tieredReq)
+			if c.Err != nil {
+				req.err.CompareAndSwap(nil, c.Err)
+			}
+			atomic.AddInt32(&req.n, int32(c.N))
+			if atomic.AddInt32(&req.remaining, -1) == 0 {
+				t.pending.Delete(c.Tag)
+				out := Completion{Tag: req.tag, N: int(atomic.LoadInt32(&req.n))}
+				if e, ok := req.err.Load().(error); ok {
+					out.Err = e
+				}
+				t.completions <- out
+			}
+		}
+	}
+}
+
+// split cuts a request at the tier boundary.
+func (t *Tiered) split(r *Request) (fast, slow *Request) {
+	end := r.Offset + int64(len(r.Buf))
+	switch {
+	case end <= t.boundary:
+		return r, nil
+	case r.Offset >= t.boundary:
+		return nil, r
+	default:
+		cut := t.boundary - r.Offset
+		return &Request{Offset: r.Offset, Buf: r.Buf[:cut]},
+			&Request{Offset: t.boundary, Buf: r.Buf[cut:]}
+	}
+}
+
+// Submit implements Device.
+func (t *Tiered) Submit(reqs []*Request) error {
+	if t.closed.Load() {
+		return errors.New("storage: submit on closed tiered device")
+	}
+	var toFast, toSlow []*Request
+	for _, r := range reqs {
+		f, s := t.split(r)
+		parts := 0
+		if f != nil {
+			parts++
+		}
+		if s != nil {
+			parts++
+		}
+		if parts == 0 {
+			t.completions <- Completion{Tag: r.Tag}
+			continue
+		}
+		st := &tieredReq{tag: r.Tag, remaining: int32(parts)}
+		if f != nil {
+			id := t.nextID.Add(1)
+			t.pending.Store(id, st)
+			toFast = append(toFast, &Request{Offset: f.Offset, Buf: f.Buf, Tag: id})
+		}
+		if s != nil {
+			id := t.nextID.Add(1)
+			t.pending.Store(id, st)
+			toSlow = append(toSlow, &Request{Offset: s.Offset, Buf: s.Buf, Tag: id})
+		}
+	}
+	if len(toFast) > 0 {
+		if err := t.fast.Submit(toFast); err != nil {
+			return err
+		}
+	}
+	if len(toSlow) > 0 {
+		if err := t.slow.Submit(toSlow); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Wait implements Device.
+func (t *Tiered) Wait(min int, out []Completion) []Completion {
+	received := 0
+	for received < min {
+		c, ok := <-t.completions
+		if !ok {
+			return out
+		}
+		out = append(out, c)
+		received++
+	}
+	for {
+		select {
+		case c, ok := <-t.completions:
+			if !ok {
+				return out
+			}
+			out = append(out, c)
+		default:
+			return out
+		}
+	}
+}
+
+// ReadSync implements Device.
+func (t *Tiered) ReadSync(offset int64, buf []byte) error {
+	f, s := t.split(&Request{Offset: offset, Buf: buf})
+	if f != nil {
+		if err := t.fast.ReadSync(f.Offset, f.Buf); err != nil {
+			return err
+		}
+	}
+	if s != nil {
+		return t.slow.ReadSync(s.Offset, s.Buf)
+	}
+	return nil
+}
+
+// Stats implements Device, summing both tiers.
+func (t *Tiered) Stats() Stats {
+	fs, ss := t.fast.Stats(), t.slow.Stats()
+	return Stats{
+		Requests:  fs.Requests + ss.Requests,
+		Chunks:    fs.Chunks + ss.Chunks,
+		BytesRead: fs.BytesRead + ss.BytesRead,
+		BusyTime:  fs.BusyTime + ss.BusyTime,
+	}
+}
+
+// TierStats returns the per-tier counters.
+func (t *Tiered) TierStats() (fast, slow Stats) {
+	return t.fast.Stats(), t.slow.Stats()
+}
+
+// Close implements Device.
+func (t *Tiered) Close() {
+	if t.closed.Swap(true) {
+		return
+	}
+	t.fast.Close()
+	t.slow.Close()
+	t.pumps.Wait()
+	close(t.completions)
+}

@@ -1,0 +1,183 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newTiered(t *testing.T, src *memSource, boundary int64, slowBW float64) *Tiered {
+	t.Helper()
+	fast, err := NewArray(src, Options{NumDisks: 4, StripeSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := NewArray(src, Options{NumDisks: 1, StripeSize: 1024, Bandwidth: slowBW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := NewTiered(fast, slow, boundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(td.Close)
+	return td
+}
+
+func TestTieredValidation(t *testing.T) {
+	src := newMemSource(1024)
+	fast, _ := NewArray(src, Options{NumDisks: 1})
+	slow, _ := NewArray(src, Options{NumDisks: 1})
+	if _, err := NewTiered(fast, slow, -1); err == nil {
+		t.Fatal("negative boundary accepted")
+	}
+	fast.Close()
+	slow.Close()
+}
+
+func TestTieredReadBothSides(t *testing.T) {
+	src := newMemSource(1 << 16)
+	td := newTiered(t, src, 1<<15, 0)
+
+	for _, tc := range []struct {
+		name string
+		off  int64
+		n    int
+	}{
+		{"fast only", 100, 1000},
+		{"slow only", 1<<15 + 100, 1000},
+		{"spanning", 1<<15 - 500, 1000},
+		{"at boundary", 1 << 15, 512},
+	} {
+		buf := make([]byte, tc.n)
+		if err := td.ReadSync(tc.off, buf); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !bytes.Equal(buf, src.data[tc.off:tc.off+int64(tc.n)]) {
+			t.Fatalf("%s: data mismatch", tc.name)
+		}
+	}
+}
+
+func TestTieredAsyncSpanning(t *testing.T) {
+	src := newMemSource(1 << 16)
+	td := newTiered(t, src, 1<<15, 0)
+
+	var reqs []*Request
+	bufs := make([][]byte, 8)
+	for i := range bufs {
+		bufs[i] = make([]byte, 3000)
+		off := int64(i)*4000 + (1 << 15) - 16000 // some fast, some spanning, some slow
+		reqs = append(reqs, &Request{Offset: off, Buf: bufs[i], Tag: int64(i)})
+	}
+	if err := td.Submit(reqs); err != nil {
+		t.Fatal(err)
+	}
+	var comps []Completion
+	for len(comps) < len(reqs) {
+		comps = td.Wait(1, comps)
+	}
+	for _, c := range comps {
+		if c.Err != nil {
+			t.Fatalf("tag %d: %v", c.Tag, c.Err)
+		}
+		if c.N != 3000 {
+			t.Fatalf("tag %d: N = %d", c.Tag, c.N)
+		}
+	}
+	for i, b := range bufs {
+		off := reqs[i].Offset
+		if !bytes.Equal(b, src.data[off:off+3000]) {
+			t.Fatalf("request %d data mismatch", i)
+		}
+	}
+	st := td.Stats()
+	if st.BytesRead != 8*3000 {
+		t.Fatalf("BytesRead = %d", st.BytesRead)
+	}
+	fs, ss := td.TierStats()
+	if fs.BytesRead == 0 || ss.BytesRead == 0 {
+		t.Fatalf("tier split missing: fast=%d slow=%d", fs.BytesRead, ss.BytesRead)
+	}
+}
+
+func TestTieredZeroLength(t *testing.T) {
+	src := newMemSource(1024)
+	td := newTiered(t, src, 512, 0)
+	if err := td.Submit([]*Request{{Offset: 10, Tag: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	comps := td.Wait(1, nil)
+	if len(comps) != 1 || comps[0].Tag != 5 {
+		t.Fatalf("completions = %+v", comps)
+	}
+}
+
+func TestTieredSlowTierIsSlower(t *testing.T) {
+	src := newMemSource(1 << 20)
+	// Slow tier at 4 MB/s.
+	td := newTiered(t, src, 1<<19, 4<<20)
+	buf := make([]byte, 1<<18)
+
+	begin := time.Now()
+	if err := td.ReadSync(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	fastT := time.Since(begin)
+
+	begin = time.Now()
+	if err := td.ReadSync(1<<19, buf); err != nil {
+		t.Fatal(err)
+	}
+	slowT := time.Since(begin)
+	if slowT < 4*fastT {
+		t.Fatalf("slow tier (%v) not meaningfully slower than fast (%v)", slowT, fastT)
+	}
+}
+
+func TestTieredSubmitAfterClose(t *testing.T) {
+	src := newMemSource(1024)
+	fast, _ := NewArray(src, Options{NumDisks: 1})
+	slow, _ := NewArray(src, Options{NumDisks: 1})
+	td, err := NewTiered(fast, slow, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td.Close()
+	if err := td.Submit([]*Request{{Offset: 0, Buf: make([]byte, 1)}}); err == nil {
+		t.Fatal("Submit after Close succeeded")
+	}
+	td.Close() // idempotent
+}
+
+// Property: tiered reads equal direct reads for any offset/length/boundary.
+func TestQuickTieredCorrectness(t *testing.T) {
+	src := newMemSource(1 << 16)
+	f := func(rawOff, rawBound uint16, rawLen uint16) bool {
+		off := int64(rawOff) % (1 << 15)
+		n := int(rawLen)%4096 + 1
+		bound := int64(rawBound)
+		fast, err := NewArray(src, Options{NumDisks: 2, StripeSize: 512})
+		if err != nil {
+			return false
+		}
+		slow, err := NewArray(src, Options{NumDisks: 1, StripeSize: 512})
+		if err != nil {
+			return false
+		}
+		td, err := NewTiered(fast, slow, bound)
+		if err != nil {
+			return false
+		}
+		defer td.Close()
+		buf := make([]byte, n)
+		if err := td.ReadSync(off, buf); err != nil {
+			return false
+		}
+		return bytes.Equal(buf, src.data[off:off+int64(n)])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

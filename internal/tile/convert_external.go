@@ -1,0 +1,294 @@
+package tile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/gwu-systems/gstore/internal/graph"
+	"github.com/gwu-systems/gstore/internal/grid"
+)
+
+// ExternalConvertOptions extends ConvertOptions for the out-of-core
+// converter.
+type ExternalConvertOptions struct {
+	ConvertOptions
+	// MemoryBudget bounds the staging buffer. Tiles are grouped into
+	// buckets of at most this many bytes, each scattered in memory and
+	// appended to the output sequentially. Defaults to 256 MB.
+	MemoryBudget int64
+	// TempDir holds the intermediate bucket files (defaults to the output
+	// directory).
+	TempDir string
+}
+
+// ConvertExternal converts a binary edge-list file to the tile format
+// without materializing the edges in memory — the out-of-core variant of
+// the two-pass conversion of §IV-B, for inputs larger than RAM (the
+// paper's terabyte-scale Kronecker files). Pass one streams the input to
+// build the start-edge array and degrees; pass two streams it again,
+// appending encoded tuples to per-bucket spill files; each bucket (a
+// contiguous range of disk-ordered tiles that fits in the memory budget)
+// is then scattered in memory and written out sequentially.
+func ConvertExternal(edgePath string, numVertices uint32, directed bool,
+	dir, name string, opts ExternalConvertOptions) (*Graph, error) {
+	if opts.MemoryBudget <= 0 {
+		opts.MemoryBudget = 256 << 20
+	}
+	if opts.TileBits == 0 {
+		opts.TileBits = 16
+	}
+	if opts.GroupQ == 0 {
+		opts.GroupQ = 256
+	}
+	if numVertices == 0 {
+		return nil, fmt.Errorf("tile: zero vertices")
+	}
+	half := !directed && opts.Symmetry
+	layout, err := grid.New(numVertices, opts.TileBits, opts.GroupQ, half)
+	if err != nil {
+		return nil, err
+	}
+	nt := layout.NumTiles()
+	tupleBytes := int64(RawTupleBytes)
+	if opts.SNB {
+		tupleBytes = SNBTupleBytes
+	}
+
+	// Pass 1: count tuples per tile, compute degrees.
+	counts := make([]int64, nt)
+	var degrees []uint32
+	if opts.Degrees {
+		degrees = make([]uint32, numVertices)
+	}
+	var original int64
+	err = streamEdgeFile(edgePath, numVertices, func(s, d uint32) {
+		original++
+		if degrees != nil {
+			degrees[s]++
+			if !directed && s != d {
+				degrees[d]++
+			}
+		}
+		eachStoredDir(layout, directed, s, d, func(di int, _, _ uint32) {
+			counts[di]++
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	start := make([]int64, nt+1)
+	for i, n := range counts {
+		start[i+1] = start[i] + n
+	}
+	numStored := start[nt]
+
+	// Bucketize: contiguous disk-ordered tile ranges under the budget.
+	type bucket struct {
+		loTile, hiTile int // disk-index range [lo, hi)
+		bytes          int64
+	}
+	var buckets []bucket
+	{
+		cur := bucket{loTile: 0}
+		for i := 0; i < nt; i++ {
+			n := counts[i] * tupleBytes
+			if n > opts.MemoryBudget {
+				return nil, fmt.Errorf("tile: tile %d needs %d bytes, above the %d budget",
+					i, n, opts.MemoryBudget)
+			}
+			if cur.bytes+n > opts.MemoryBudget {
+				cur.hiTile = i
+				buckets = append(buckets, cur)
+				cur = bucket{loTile: i}
+			}
+			cur.bytes += n
+		}
+		cur.hiTile = nt
+		buckets = append(buckets, cur)
+	}
+	bucketOf := make([]int, nt)
+	for bi, b := range buckets {
+		for i := b.loTile; i < b.hiTile; i++ {
+			bucketOf[i] = bi
+		}
+	}
+
+	// Pass 2: spill (diskIdx, tuple) records per bucket.
+	tempDir := opts.TempDir
+	if tempDir == "" {
+		tempDir = dir
+	}
+	if err := os.MkdirAll(tempDir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	spillDir, err := os.MkdirTemp(tempDir, "gstore-spill-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(spillDir)
+
+	spills := make([]*bufio.Writer, len(buckets))
+	spillFiles := make([]*os.File, len(buckets))
+	for i := range spills {
+		f, err := os.Create(filepath.Join(spillDir, fmt.Sprintf("b%d", i)))
+		if err != nil {
+			return nil, err
+		}
+		spillFiles[i] = f
+		spills[i] = bufio.NewWriterSize(f, 1<<16)
+	}
+	mask := layout.TileWidth() - 1
+	recBytes := 4 + tupleBytes
+	var rec [4 + RawTupleBytes]byte
+	err = streamEdgeFile(edgePath, numVertices, func(s, d uint32) {
+		eachStoredDir(layout, directed, s, d, func(di int, ts, td uint32) {
+			binary.LittleEndian.PutUint32(rec[0:4], uint32(di))
+			if opts.SNB {
+				PutSNB(rec[4:], uint16(ts&mask), uint16(td&mask))
+			} else {
+				PutRaw(rec[4:], ts, td)
+			}
+			// Buffered writes cannot fail until flush; collect then.
+			spills[bucketOf[di]].Write(rec[:recBytes])
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range spills {
+		if err := w.Flush(); err != nil {
+			return nil, err
+		}
+		if err := spillFiles[i].Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Scatter each bucket in memory and append to the tiles file.
+	base := BasePath(dir, name)
+	out, err := os.Create(tilesPath(base))
+	if err != nil {
+		return nil, err
+	}
+	ow := bufio.NewWriterSize(out, 1<<20)
+	next := make([]int64, nt)
+	for bi, b := range buckets {
+		buf := make([]byte, b.bytes)
+		baseTuples := start[b.loTile]
+		for i := b.loTile; i < b.hiTile; i++ {
+			next[i] = start[i]
+		}
+		f, err := os.Open(filepath.Join(spillDir, fmt.Sprintf("b%d", bi)))
+		if err != nil {
+			out.Close()
+			return nil, err
+		}
+		r := bufio.NewReaderSize(f, 1<<20)
+		for {
+			if _, err := io.ReadFull(r, rec[:recBytes]); err != nil {
+				if err == io.EOF {
+					break
+				}
+				f.Close()
+				out.Close()
+				return nil, fmt.Errorf("tile: corrupt spill file %d: %w", bi, err)
+			}
+			di := int(binary.LittleEndian.Uint32(rec[0:4]))
+			at := (next[di] - baseTuples) * tupleBytes
+			next[di]++
+			copy(buf[at:at+tupleBytes], rec[4:4+tupleBytes])
+		}
+		f.Close()
+		if _, err := ow.Write(buf); err != nil {
+			out.Close()
+			return nil, err
+		}
+	}
+	if err := ow.Flush(); err != nil {
+		out.Close()
+		return nil, err
+	}
+	if err := out.Close(); err != nil {
+		return nil, err
+	}
+
+	m := &Meta{
+		Magic: Magic, Version: Version, Name: name,
+		NumVertices: numVertices,
+		NumStored:   numStored,
+		NumOriginal: original,
+		TileBits:    opts.TileBits,
+		GroupQ:      layout.Q,
+		Directed:    directed,
+		Half:        half,
+		SNB:         opts.SNB,
+	}
+	if degrees != nil {
+		if t, err := EncodeDegrees(degrees); err == nil {
+			m.DegreeFormat = "compact"
+			if err := os.WriteFile(degPath(base), encodeDegreeFile(t), 0o644); err != nil {
+				return nil, err
+			}
+		} else if err == ErrDegreeOverflow {
+			m.DegreeFormat = "plain"
+			if err := os.WriteFile(degPath(base), encodePlainDegreeFile(degrees), 0o644); err != nil {
+				return nil, err
+			}
+		} else {
+			return nil, err
+		}
+	}
+	if err := writeMeta(base, m); err != nil {
+		return nil, err
+	}
+	if err := writeStart(startPath(base), start); err != nil {
+		return nil, err
+	}
+	return Open(base)
+}
+
+// eachStoredDir maps one input edge to the stored tuple(s), mirroring
+// forEachStored for a single edge.
+func eachStoredDir(layout *grid.Layout, directed bool, s, d uint32, fn func(di int, ts, td uint32)) {
+	ts, td := s, d
+	if layout.Half && ts > td {
+		ts, td = td, ts
+	}
+	fn(layout.DiskIndex(layout.TileOf(ts), layout.TileOf(td)), ts, td)
+	if !directed && !layout.Half && s != d {
+		fn(layout.DiskIndex(layout.TileOf(d), layout.TileOf(s)), d, s)
+	}
+}
+
+// streamEdgeFile reads a binary edge list, invoking fn per edge, and
+// validates endpoints against the vertex space.
+func streamEdgeFile(path string, numVertices uint32, fn func(s, d uint32)) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	var buf [graph.EdgeTupleBytes]byte
+	for {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("tile: reading %s: %w", path, err)
+		}
+		s := binary.LittleEndian.Uint32(buf[0:4])
+		d := binary.LittleEndian.Uint32(buf[4:8])
+		if s >= numVertices || d >= numVertices {
+			return fmt.Errorf("tile: edge (%d,%d) outside vertex space %d", s, d, numVertices)
+		}
+		fn(s, d)
+	}
+}

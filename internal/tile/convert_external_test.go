@@ -1,0 +1,171 @@
+package tile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/gwu-systems/gstore/internal/gen"
+	"github.com/gwu-systems/gstore/internal/graph"
+)
+
+func writeEdges(t *testing.T, el *graph.EdgeList) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "edges.bin")
+	if err := graph.WriteEdgeListFile(p, el); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func extOpts(bits uint, budget int64) ExternalConvertOptions {
+	return ExternalConvertOptions{
+		ConvertOptions: ConvertOptions{TileBits: bits, GroupQ: 4, Symmetry: true, SNB: true, Degrees: true},
+		MemoryBudget:   budget,
+	}
+}
+
+// The external converter must produce byte-identical files to the
+// in-memory converter (same tuples, same order).
+func TestExternalMatchesInMemory(t *testing.T) {
+	el, err := gen.Generate(gen.Graph500Config(10, 8, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgePath := writeEdges(t, el)
+
+	memDir := t.TempDir()
+	gm, err := Convert(el, memDir, "m", ConvertOptions{
+		TileBits: 6, GroupQ: 4, Symmetry: true, SNB: true, Degrees: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gm.Close()
+
+	extDir := t.TempDir()
+	// A deliberately tiny budget forces many buckets.
+	ge, err := ConvertExternal(edgePath, el.NumVertices, false, extDir, "e", extOpts(6, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ge.Close()
+
+	for _, ext := range []string{".tiles", ".start", ".deg"} {
+		a, err := os.ReadFile(BasePath(memDir, "m") + ext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(BasePath(extDir, "e") + ext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s differs between converters (%d vs %d bytes)", ext, len(a), len(b))
+		}
+	}
+	if gm.Meta.NumStored != ge.Meta.NumStored || gm.Meta.NumOriginal != ge.Meta.NumOriginal {
+		t.Fatalf("meta mismatch: %+v vs %+v", gm.Meta, ge.Meta)
+	}
+}
+
+func TestExternalDirected(t *testing.T) {
+	el, err := gen.Generate(gen.TwitterLikeConfig(9, 4, 78))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgePath := writeEdges(t, el)
+	g, err := ConvertExternal(edgePath, el.NumVertices, true, t.TempDir(), "d", extOpts(5, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.Meta.Half || !g.Meta.Directed {
+		t.Fatalf("meta = %+v", g.Meta)
+	}
+	if g.Meta.NumStored != int64(len(el.Edges)) {
+		t.Fatalf("stored %d, want %d", g.Meta.NumStored, len(el.Edges))
+	}
+}
+
+func TestExternalTileOverBudget(t *testing.T) {
+	el, err := gen.Generate(gen.Graph500Config(8, 8, 79))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgePath := writeEdges(t, el)
+	// Budget smaller than the biggest tile must be rejected with a clear
+	// error rather than a corrupt file.
+	if _, err := ConvertExternal(edgePath, el.NumVertices, false, t.TempDir(), "x", extOpts(6, 16)); err == nil {
+		t.Fatal("oversized tile accepted")
+	}
+}
+
+func TestExternalRejectsBadEdges(t *testing.T) {
+	el := &graph.EdgeList{NumVertices: 8, Edges: []graph.Edge{{Src: 1, Dst: 2}}}
+	edgePath := writeEdges(t, el)
+	if _, err := ConvertExternal(edgePath, 2, false, t.TempDir(), "x", extOpts(2, 1<<20)); err == nil {
+		t.Fatal("out-of-range edges accepted")
+	}
+	if _, err := ConvertExternal(filepath.Join(t.TempDir(), "missing"), 8, false, t.TempDir(), "x", extOpts(2, 1<<20)); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+func TestExternalZeroVertices(t *testing.T) {
+	el := &graph.EdgeList{NumVertices: 4}
+	edgePath := writeEdges(t, el)
+	if _, err := ConvertExternal(edgePath, 0, false, t.TempDir(), "x", extOpts(2, 1<<20)); err == nil {
+		t.Fatal("zero vertices accepted")
+	}
+}
+
+// Property: external and in-memory conversion agree for random graphs,
+// budgets and tile widths.
+func TestQuickExternalEquivalence(t *testing.T) {
+	f := func(seed uint64, rawBits, rawBudget uint8) bool {
+		el, err := gen.Generate(gen.Graph500Config(8, 4, seed))
+		if err != nil {
+			return false
+		}
+		bits := uint(rawBits)%4 + 4
+		budget := int64(rawBudget)*64 + 2048
+		dir := t.TempDir()
+		edgePath := filepath.Join(dir, "edges.bin")
+		if err := graph.WriteEdgeListFile(edgePath, el); err != nil {
+			return false
+		}
+		gm, err := Convert(el, dir, "m", ConvertOptions{
+			TileBits: bits, GroupQ: 2, Symmetry: true, SNB: true,
+		})
+		if err != nil {
+			return false
+		}
+		defer gm.Close()
+		ge, err := ConvertExternal(edgePath, el.NumVertices, false, dir, "e", ExternalConvertOptions{
+			ConvertOptions: ConvertOptions{TileBits: bits, GroupQ: 2, Symmetry: true, SNB: true},
+			MemoryBudget:   budget,
+		})
+		if err != nil {
+			// A single tile exceeding the random budget is a legitimate
+			// rejection, not an equivalence failure.
+			return strings.Contains(err.Error(), "above the")
+		}
+		defer ge.Close()
+		a, err := os.ReadFile(BasePath(dir, "m") + ".tiles")
+		if err != nil {
+			return false
+		}
+		b, err := os.ReadFile(BasePath(dir, "e") + ".tiles")
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

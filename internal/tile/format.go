@@ -1,0 +1,120 @@
+// Package tile implements G-Store's space-efficient tile storage format
+// (§IV of the paper): the smallest-number-of-bits (SNB) tuple encoding,
+// the start-edge index, the compact degree encoding, and the two-pass
+// converter from edge lists.
+//
+// A converted graph is a directory of four files sharing a base name:
+//
+//	<name>.meta  — JSON header (vertex/edge counts, tile bits, flags)
+//	<name>.start — int64 per stored tile: prefix sums of edge counts,
+//	               NumTiles+1 entries (the paper's start-edge file)
+//	<name>.tiles — all tile tuples concatenated in physical-group disk
+//	               order (§V-A)
+//	<name>.deg   — optional degree array in the 2-byte escape encoding
+//	               of §IV-C
+package tile
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Magic identifies G-Store metadata files.
+const Magic = "GSTORE-TILES"
+
+// Version is the current format version.
+const Version = 1
+
+// SNBTupleBytes is the on-disk tuple size with the SNB representation:
+// two 16-bit in-tile offsets (§IV-B).
+const SNBTupleBytes = 4
+
+// RawTupleBytes is the tuple size without SNB: two full 32-bit IDs. It is
+// used by the "symmetry only" ablation configuration of Figure 10.
+const RawTupleBytes = 8
+
+// Meta is the JSON header of a converted graph.
+type Meta struct {
+	Magic       string `json:"magic"`
+	Version     int    `json:"version"`
+	Name        string `json:"name"`
+	NumVertices uint32 `json:"num_vertices"`
+	// NumStored is the number of stored tuples; for a half-stored
+	// undirected graph this is the number of canonical edges.
+	NumStored int64 `json:"num_stored"`
+	// NumOriginal is the edge count of the input edge list (an undirected
+	// input counted once per canonical tuple).
+	NumOriginal int64  `json:"num_original"`
+	TileBits    uint   `json:"tile_bits"`
+	GroupQ      uint32 `json:"group_q"`
+	Directed    bool   `json:"directed"`
+	// Half is true when only the upper triangle is stored (undirected
+	// symmetry saving, §IV-A).
+	Half bool `json:"half"`
+	// SNB is true when tuples use the 2-byte-per-endpoint encoding.
+	SNB bool `json:"snb"`
+	// DegreeFormat is "", "compact" (§IV-C) or "plain".
+	DegreeFormat string `json:"degree_format,omitempty"`
+}
+
+// TupleBytes returns the per-tuple on-disk size.
+func (m *Meta) TupleBytes() int64 {
+	if m.SNB {
+		return SNBTupleBytes
+	}
+	return RawTupleBytes
+}
+
+// Validate checks internal consistency of the header.
+func (m *Meta) Validate() error {
+	switch {
+	case m.Magic != Magic:
+		return fmt.Errorf("tile: bad magic %q", m.Magic)
+	case m.Version != Version:
+		return fmt.Errorf("tile: unsupported version %d", m.Version)
+	case m.NumVertices == 0:
+		return fmt.Errorf("tile: zero vertices")
+	case m.TileBits == 0 || m.TileBits > 16:
+		return fmt.Errorf("tile: tile bits %d out of range", m.TileBits)
+	case m.Directed && m.Half:
+		return fmt.Errorf("tile: half storage is only defined for undirected graphs")
+	case m.NumStored < 0 || m.NumOriginal < 0:
+		return fmt.Errorf("tile: negative edge count")
+	}
+	return nil
+}
+
+// Paths of the individual files for a graph stored at base path p (without
+// extension).
+func metaPath(p string) string  { return p + ".meta" }
+func startPath(p string) string { return p + ".start" }
+func tilesPath(p string) string { return p + ".tiles" }
+func degPath(p string) string   { return p + ".deg" }
+
+func writeMeta(p string, m *Meta) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(metaPath(p), append(data, '\n'), 0o644)
+}
+
+func readMeta(p string) (*Meta, error) {
+	data, err := os.ReadFile(metaPath(p))
+	if err != nil {
+		return nil, err
+	}
+	var m Meta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("tile: corrupt meta %s: %w", metaPath(p), err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// BasePath joins dir and name into the base path used by Create/Open.
+func BasePath(dir, name string) string { return filepath.Join(dir, name) }

@@ -1,0 +1,112 @@
+package tile
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Fuzz targets for every on-disk parser: corrupted files must produce
+// errors, never panics or silent acceptance of inconsistent state.
+
+func FuzzMetaParse(f *testing.F) {
+	good, _ := json.Marshal(&Meta{
+		Magic: Magic, Version: Version, Name: "x",
+		NumVertices: 8, NumStored: 9, NumOriginal: 9,
+		TileBits: 2, GroupQ: 1, Half: true, SNB: true,
+	})
+	f.Add(good)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"magic":"GSTORE-TILES","version":1}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		p := filepath.Join(dir, "g")
+		if err := os.WriteFile(p+".meta", data, 0o644); err != nil {
+			t.Skip()
+		}
+		m, err := readMeta(p)
+		if err != nil {
+			return
+		}
+		// Anything accepted must satisfy the validated invariants.
+		if m.Magic != Magic || m.Version != Version || m.NumVertices == 0 ||
+			m.TileBits == 0 || m.TileBits > 16 || (m.Directed && m.Half) {
+			t.Fatalf("invalid meta accepted: %+v", m)
+		}
+	})
+}
+
+func FuzzStartFile(f *testing.F) {
+	f.Add([]byte{}, 1)
+	f.Add(make([]byte, 16), 1)
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0}, 1)
+	f.Fuzz(func(t *testing.T, data []byte, numTiles int) {
+		if numTiles < 0 || numTiles > 1024 {
+			t.Skip()
+		}
+		dir := t.TempDir()
+		p := filepath.Join(dir, "s")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Skip()
+		}
+		start, err := readStart(p, numTiles)
+		if err != nil {
+			return
+		}
+		if len(start) != numTiles+1 || start[0] != 0 {
+			t.Fatalf("invalid start accepted: len=%d first=%d", len(start), start[0])
+		}
+		for i := 1; i < len(start); i++ {
+			if start[i] < start[i-1] {
+				t.Fatalf("non-monotonic start accepted at %d", i)
+			}
+		}
+	})
+}
+
+func FuzzDegreeFile(f *testing.F) {
+	tab, _ := EncodeDegrees([]uint32{1, 2, 70000, 3})
+	f.Add(encodeDegreeFile(tab), 4, true)
+	f.Add(encodePlainDegreeFile([]uint32{1, 2, 3}), 3, false)
+	f.Add([]byte{}, 4, true)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}, 2, false)
+	f.Fuzz(func(t *testing.T, data []byte, numVertices int, compact bool) {
+		if numVertices < 0 || numVertices > 4096 {
+			t.Skip()
+		}
+		format := "plain"
+		if compact {
+			format = "compact"
+		}
+		src, err := decodeDegreeFile(data, numVertices, format)
+		if err != nil {
+			return
+		}
+		// Accepted tables must answer every vertex without panicking.
+		for v := 0; v < numVertices; v++ {
+			_ = src.Degree(uint32(v))
+		}
+	})
+}
+
+func FuzzDecodeTuples(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, true)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, false)
+	f.Add([]byte{1}, true)
+	f.Fuzz(func(t *testing.T, data []byte, snb bool) {
+		n := 0
+		err := DecodeTuples(data, snb, 64, 128, func(s, d uint32) { n++ })
+		w := RawTupleBytes
+		if snb {
+			w = SNBTupleBytes
+		}
+		if err == nil && n != len(data)/w {
+			t.Fatalf("decoded %d tuples from %d bytes", n, len(data))
+		}
+		if err != nil && len(data)%w == 0 {
+			t.Fatalf("aligned data rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,189 @@
+package xstream
+
+import (
+	"math"
+)
+
+// BFS is breadth-first search in the scatter–gather model: frontier
+// vertices scatter depth updates along their edges; gather installs the
+// first depth a vertex receives.
+type BFS struct {
+	Root  uint32
+	depth []int32
+	level int32
+	added int64
+}
+
+// NewBFS returns a BFS program rooted at root.
+func NewBFS(root uint32) *BFS { return &BFS{Root: root} }
+
+// Name implements Program.
+func (b *BFS) Name() string { return "bfs" }
+
+// Init implements Program.
+func (b *BFS) Init(n uint32) {
+	b.depth = make([]int32, n)
+	for i := range b.depth {
+		b.depth[i] = -1
+	}
+	if b.Root < n {
+		b.depth[b.Root] = 0
+	}
+}
+
+// Depths returns the depths after the run.
+func (b *BFS) Depths() []int32 { return b.depth }
+
+// BeforeIteration implements Program.
+func (b *BFS) BeforeIteration(iter int) {
+	b.level = int32(iter)
+	b.added = 0
+}
+
+// Scatter implements Program.
+func (b *BFS) Scatter(src, dst uint32) (uint64, bool) {
+	if b.depth[src] == b.level && b.depth[dst] == -1 {
+		return uint64(b.level + 1), true
+	}
+	return 0, false
+}
+
+// Gather implements Program.
+func (b *BFS) Gather(dst uint32, value uint64) {
+	if b.depth[dst] == -1 {
+		b.depth[dst] = int32(value)
+		b.added++
+	}
+}
+
+// AfterIteration implements Program.
+func (b *BFS) AfterIteration(int) bool { return b.added == 0 }
+
+// ValueBytes implements Program: depths travel as 4-byte integers.
+func (b *BFS) ValueBytes() int { return 4 }
+
+// PageRank is the scatter–gather PageRank: every edge carries its
+// source's rank share every iteration, so X-Stream's update stream is as
+// large as the edge stream — the paper's motivating I/O pathology.
+type PageRank struct {
+	Iterations int
+	degrees    []uint32
+	rank       []float64
+	accum      []float64
+	share      []float64
+	dangling   float64
+}
+
+// NewPageRank builds the program; degrees must hold the out-degree of
+// every vertex (undirected: full degree).
+func NewPageRank(iterations int, degrees []uint32) *PageRank {
+	return &PageRank{Iterations: iterations, degrees: degrees}
+}
+
+// Name implements Program.
+func (p *PageRank) Name() string { return "pagerank" }
+
+// Init implements Program.
+func (p *PageRank) Init(n uint32) {
+	p.rank = make([]float64, n)
+	p.accum = make([]float64, n)
+	p.share = make([]float64, n)
+	inv := 1.0 / float64(n)
+	for i := range p.rank {
+		p.rank[i] = inv
+	}
+}
+
+// Ranks returns the rank vector.
+func (p *PageRank) Ranks() []float64 { return p.rank }
+
+// BeforeIteration implements Program.
+func (p *PageRank) BeforeIteration(int) {
+	p.dangling = 0
+	for v := range p.share {
+		d := p.degrees[v]
+		if d == 0 {
+			p.dangling += p.rank[v]
+			p.share[v] = 0
+			continue
+		}
+		p.share[v] = p.rank[v] / float64(d)
+	}
+	for i := range p.accum {
+		p.accum[i] = 0
+	}
+}
+
+// Scatter implements Program. Rank shares travel as float32, matching
+// X-Stream's 4-byte vertex values.
+func (p *PageRank) Scatter(src, _ uint32) (uint64, bool) {
+	return uint64(math.Float32bits(float32(p.share[src]))), true
+}
+
+// Gather implements Program.
+func (p *PageRank) Gather(dst uint32, value uint64) {
+	p.accum[dst] += float64(math.Float32frombits(uint32(value)))
+}
+
+// ValueBytes implements Program.
+func (p *PageRank) ValueBytes() int { return 4 }
+
+// AfterIteration implements Program.
+func (p *PageRank) AfterIteration(iter int) bool {
+	n := float64(len(p.rank))
+	base := (1-0.85)/n + 0.85*p.dangling/n
+	for v := range p.rank {
+		p.rank[v] = base + 0.85*p.accum[v]
+	}
+	return iter+1 >= p.Iterations
+}
+
+// WCC is min-label propagation in scatter–gather form. For weak
+// connectivity on directed graphs the caller must materialize both edge
+// directions (build the engine from an edge list with Directed=false).
+type WCC struct {
+	labels  []uint32
+	changed int64
+}
+
+// NewWCC returns the connected-components program.
+func NewWCC() *WCC { return &WCC{} }
+
+// Name implements Program.
+func (w *WCC) Name() string { return "wcc" }
+
+// Init implements Program.
+func (w *WCC) Init(n uint32) {
+	w.labels = make([]uint32, n)
+	for i := range w.labels {
+		w.labels[i] = uint32(i)
+	}
+}
+
+// Labels returns the labels after the run.
+func (w *WCC) Labels() []uint32 { return w.labels }
+
+// BeforeIteration implements Program.
+func (w *WCC) BeforeIteration(int) { w.changed = 0 }
+
+// Scatter implements Program.
+func (w *WCC) Scatter(src, dst uint32) (uint64, bool) {
+	if w.labels[src] < w.labels[dst] {
+		return uint64(w.labels[src]), true
+	}
+	return 0, false
+}
+
+// Gather implements Program.
+func (w *WCC) Gather(dst uint32, value uint64) {
+	if uint32(value) < w.labels[dst] {
+		w.labels[dst] = uint32(value)
+		w.changed++
+	}
+}
+
+// AfterIteration implements Program.
+func (w *WCC) AfterIteration(int) bool { return w.changed == 0 }
+
+// ValueBytes implements Program: labels travel as 4-byte integers.
+func (w *WCC) ValueBytes() int { return 4 }

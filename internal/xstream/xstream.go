@@ -1,0 +1,405 @@
+// Package xstream re-implements the X-Stream baseline (Roy et al., SOSP
+// 2013) that the paper compares against: an edge-centric scatter–gather
+// engine over streaming partitions. Vertices are split into K partitions;
+// each iteration streams every partition's edges from disk (scatter),
+// appends the produced updates to per-partition update files, then streams
+// the update files back and applies them (gather).
+//
+// Two properties matter for the comparison:
+//   - X-Stream re-reads the full edge list every iteration and additionally
+//     writes and re-reads an update stream, which is the I/O amplification
+//     G-Store's tile format and caching eliminate;
+//   - its edge tuples are 8 bytes (16 for > 2^32 vertices), 2–4× the tile
+//     format (Figure 2a sweeps exactly this knob).
+package xstream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/gwu-systems/gstore/internal/graph"
+	"github.com/gwu-systems/gstore/internal/storage"
+)
+
+// Update records are (dst, value) pairs; the destination ID is as wide as
+// the edge tuples' vertex IDs (4 bytes for 8-byte tuples, 8 bytes for the
+// 16-byte tuples used beyond 2^32 vertices), and the value width is
+// declared by the program (X-Stream's vertex values are typed: 4-byte
+// float ranks, 4-byte depths and labels).
+const maxUpdateBytes = 16
+
+// Program is an edge-centric algorithm in X-Stream's scatter–gather
+// model.
+type Program interface {
+	// Name identifies the program.
+	Name() string
+	// Init allocates vertex state.
+	Init(numVertices uint32)
+	// BeforeIteration resets per-iteration state.
+	BeforeIteration(iter int)
+	// Scatter inspects one edge and optionally emits an update value for
+	// dst. Called once per stored edge per iteration.
+	Scatter(src, dst uint32) (value uint64, ok bool)
+	// Gather applies one update to dst.
+	Gather(dst uint32, value uint64)
+	// ValueBytes is the on-disk width of one update value: 4 (the low 32
+	// bits of the value travel) or 8.
+	ValueBytes() int
+	// AfterIteration reports convergence.
+	AfterIteration(iter int) bool
+}
+
+// Options configures the engine.
+type Options struct {
+	// Partitions is the number of streaming partitions.
+	Partitions int
+	// TupleBytes is the edge tuple width: 8 (default) or 16.
+	TupleBytes int
+	// StreamBuffer is the read buffer per stream (the paper observes this
+	// barely matters; Figure 2c).
+	StreamBuffer int
+	// Storage simulation parameters shared with the G-Store engine for
+	// fair comparisons.
+	Disks      int
+	StripeSize int64
+	Bandwidth  float64
+	Latency    time.Duration
+	// MaxIterations bounds the run.
+	MaxIterations int
+}
+
+// DefaultOptions mirrors an X-Stream configuration sized like the
+// reproduction's G-Store default.
+func DefaultOptions() Options {
+	return Options{
+		Partitions:    16,
+		TupleBytes:    8,
+		StreamBuffer:  1 << 20,
+		Disks:         8,
+		StripeSize:    storage.DefaultStripeSize,
+		MaxIterations: 1 << 20,
+	}
+}
+
+func (o *Options) normalize() error {
+	if o.Partitions <= 0 {
+		o.Partitions = 16
+	}
+	if o.TupleBytes != 8 && o.TupleBytes != 16 {
+		return fmt.Errorf("xstream: tuple width %d not in {8,16}", o.TupleBytes)
+	}
+	if o.StreamBuffer <= 0 {
+		o.StreamBuffer = 1 << 20
+	}
+	if o.Disks <= 0 {
+		o.Disks = 1
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 1 << 20
+	}
+	return nil
+}
+
+// Stats reports one run.
+type Stats struct {
+	Iterations   int
+	Elapsed      time.Duration
+	EdgeBytes    int64 // edge-stream bytes read
+	UpdateBytes  int64 // update bytes written + read
+	UpdatesCount int64
+}
+
+// Engine is a built X-Stream instance over one graph.
+type Engine struct {
+	opts        Options
+	numVertices uint32
+	numEdges    int64 // stored directed edge instances
+	dir         string
+	edgePath    string
+	// partExt[i] is the byte extent of partition i in the edge file.
+	partExt []struct{ off, n int64 }
+	edgeF   *os.File
+	array   *storage.Array
+	// updThrottle charges the update stream's write and read traffic
+	// against the same disk model the edge stream uses.
+	updThrottle *storage.Throttle
+}
+
+// partOf maps a vertex to its streaming partition.
+func (e *Engine) partOf(v uint32) int {
+	per := (int64(e.numVertices) + int64(e.opts.Partitions) - 1) / int64(e.opts.Partitions)
+	return int(int64(v) / per)
+}
+
+// Build lays el out as X-Stream streaming partitions under dir. For
+// undirected graphs both directions are materialized, as X-Stream's edge
+// list format requires.
+func Build(el *graph.EdgeList, dir string, opts Options) (*Engine, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	if err := el.Validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		opts:        opts,
+		numVertices: el.NumVertices,
+		dir:         dir,
+		edgePath:    filepath.Join(dir, "xstream.edges"),
+	}
+	e.partExt = make([]struct{ off, n int64 }, opts.Partitions)
+
+	// Count edge instances per source partition.
+	counts := make([]int64, opts.Partitions)
+	each := func(fn func(s, d uint32)) {
+		for _, ed := range el.Edges {
+			fn(ed.Src, ed.Dst)
+			if !el.Directed && ed.Src != ed.Dst {
+				fn(ed.Dst, ed.Src)
+			}
+		}
+	}
+	each(func(s, d uint32) { counts[e.partOf(s)]++ })
+	tb := int64(opts.TupleBytes)
+	var off int64
+	for i, c := range counts {
+		e.partExt[i].off = off
+		e.partExt[i].n = c * tb
+		off += c * tb
+		e.numEdges += c
+	}
+
+	// Scatter tuples to their partition extents.
+	data := make([]byte, off)
+	next := make([]int64, opts.Partitions)
+	for i := range next {
+		next[i] = e.partExt[i].off
+	}
+	each(func(s, d uint32) {
+		p := e.partOf(s)
+		at := next[p]
+		next[p] += tb
+		if opts.TupleBytes == 8 {
+			binary.LittleEndian.PutUint32(data[at:], s)
+			binary.LittleEndian.PutUint32(data[at+4:], d)
+		} else {
+			binary.LittleEndian.PutUint64(data[at:], uint64(s))
+			binary.LittleEndian.PutUint64(data[at+8:], uint64(d))
+		}
+	})
+	if err := os.WriteFile(e.edgePath, data, 0o644); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(e.edgePath)
+	if err != nil {
+		return nil, err
+	}
+	e.edgeF = f
+	arr, err := storage.NewArray(f, storage.Options{
+		NumDisks:   opts.Disks,
+		StripeSize: opts.StripeSize,
+		Bandwidth:  opts.Bandwidth,
+		Latency:    opts.Latency,
+	})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	e.array = arr
+	e.updThrottle = &storage.Throttle{
+		Bandwidth: opts.Bandwidth * float64(opts.Disks),
+		Latency:   opts.Latency,
+	}
+	return e, nil
+}
+
+// Close releases the engine's files.
+func (e *Engine) Close() {
+	if e.array != nil {
+		e.array.Close()
+		e.array = nil
+	}
+	if e.edgeF != nil {
+		e.edgeF.Close()
+		e.edgeF = nil
+	}
+}
+
+// NumEdges returns the stored directed edge-instance count.
+func (e *Engine) NumEdges() int64 { return e.numEdges }
+
+// EdgeFileBytes returns the edge stream's on-disk size (the Table II
+// "Edge List Size" accounting).
+func (e *Engine) EdgeFileBytes() int64 { return e.numEdges * int64(e.opts.TupleBytes) }
+
+// Run executes p until convergence.
+func (e *Engine) Run(p Program) (*Stats, error) {
+	p.Init(e.numVertices)
+	stats := &Stats{}
+	begin := time.Now()
+
+	upPaths := make([]string, e.opts.Partitions)
+	for i := range upPaths {
+		upPaths[i] = filepath.Join(e.dir, fmt.Sprintf("updates.%d", i))
+	}
+
+	dstBytes := 4
+	if e.opts.TupleBytes == 16 {
+		dstBytes = 8
+	}
+	vb := p.ValueBytes()
+	if vb != 4 && vb != 8 {
+		return nil, fmt.Errorf("xstream: program %s declares %d-byte values", p.Name(), vb)
+	}
+	ub := dstBytes + vb
+	buf := make([]byte, e.opts.StreamBuffer)
+	for iter := 0; iter < e.opts.MaxIterations; iter++ {
+		p.BeforeIteration(iter)
+
+		// Scatter phase: stream every partition's edges, append updates
+		// to the destination partition's update file.
+		writers := make([]*bufio.Writer, e.opts.Partitions)
+		files := make([]*os.File, e.opts.Partitions)
+		for i := range writers {
+			f, err := os.Create(upPaths[i])
+			if err != nil {
+				return nil, err
+			}
+			files[i] = f
+			writers[i] = bufio.NewWriterSize(f, 1<<16)
+		}
+		var rec [maxUpdateBytes]byte
+		writtenBefore := stats.UpdateBytes
+		for pi := 0; pi < e.opts.Partitions; pi++ {
+			ext := e.partExt[pi]
+			if err := e.streamEdges(ext.off, ext.n, buf, func(s, d uint32) error {
+				v, ok := p.Scatter(s, d)
+				if !ok {
+					return nil
+				}
+				if dstBytes == 4 {
+					binary.LittleEndian.PutUint32(rec[0:4], d)
+				} else {
+					binary.LittleEndian.PutUint64(rec[0:8], uint64(d))
+				}
+				if vb == 4 {
+					binary.LittleEndian.PutUint32(rec[dstBytes:], uint32(v))
+				} else {
+					binary.LittleEndian.PutUint64(rec[dstBytes:], v)
+				}
+				stats.UpdatesCount++
+				stats.UpdateBytes += int64(ub)
+				_, err := writers[e.partOf(d)].Write(rec[:ub])
+				return err
+			}); err != nil {
+				return nil, err
+			}
+			stats.EdgeBytes += ext.n
+		}
+		for i, w := range writers {
+			if err := w.Flush(); err != nil {
+				return nil, err
+			}
+			if err := files[i].Close(); err != nil {
+				return nil, err
+			}
+		}
+		// The update stream hits the same disks as the edge stream;
+		// charge its write traffic against the array model.
+		e.updThrottle.Charge(stats.UpdateBytes - writtenBefore)
+
+		// Gather phase: stream update files back and apply.
+		for pi := 0; pi < e.opts.Partitions; pi++ {
+			f, err := os.Open(upPaths[pi])
+			if err != nil {
+				return nil, err
+			}
+			if fi, err := f.Stat(); err == nil {
+				e.updThrottle.Charge(fi.Size())
+			}
+			r := bufio.NewReaderSize(f, e.opts.StreamBuffer)
+			var u [maxUpdateBytes]byte
+			for {
+				if _, err := readFull(r, u[:ub]); err != nil {
+					break
+				}
+				stats.UpdateBytes += int64(ub)
+				var d uint32
+				if dstBytes == 4 {
+					d = binary.LittleEndian.Uint32(u[0:4])
+				} else {
+					d = uint32(binary.LittleEndian.Uint64(u[0:8]))
+				}
+				var v uint64
+				if vb == 4 {
+					v = uint64(binary.LittleEndian.Uint32(u[dstBytes:]))
+				} else {
+					v = binary.LittleEndian.Uint64(u[dstBytes:])
+				}
+				p.Gather(d, v)
+			}
+			f.Close()
+		}
+
+		stats.Iterations = iter + 1
+		if p.AfterIteration(iter) {
+			break
+		}
+	}
+	for _, up := range upPaths {
+		os.Remove(up)
+	}
+	stats.Elapsed = time.Since(begin)
+	return stats, nil
+}
+
+// streamEdges reads the byte extent [off, off+n) through the simulated
+// array in StreamBuffer-sized sequential chunks and decodes tuples.
+func (e *Engine) streamEdges(off, n int64, buf []byte, fn func(s, d uint32) error) error {
+	tb := int64(e.opts.TupleBytes)
+	for pos := off; pos < off+n; {
+		chunk := int64(len(buf))
+		// Keep chunks tuple-aligned.
+		chunk -= chunk % tb
+		if rem := off + n - pos; chunk > rem {
+			chunk = rem
+		}
+		if err := e.array.ReadSync(pos, buf[:chunk]); err != nil {
+			return err
+		}
+		for i := int64(0); i+tb <= chunk; i += tb {
+			var s, d uint32
+			if tb == 8 {
+				s = binary.LittleEndian.Uint32(buf[i:])
+				d = binary.LittleEndian.Uint32(buf[i+4:])
+			} else {
+				s = uint32(binary.LittleEndian.Uint64(buf[i:]))
+				d = uint32(binary.LittleEndian.Uint64(buf[i+8:]))
+			}
+			if err := fn(s, d); err != nil {
+				return err
+			}
+		}
+		pos += chunk
+	}
+	return nil
+}
+
+func readFull(r *bufio.Reader, p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		m, err := r.Read(p[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,179 @@
+package xstream
+
+import (
+	"math"
+	"testing"
+
+	"github.com/gwu-systems/gstore/internal/gen"
+	"github.com/gwu-systems/gstore/internal/graph"
+)
+
+func testOpts() Options {
+	o := DefaultOptions()
+	o.Partitions = 4
+	o.StreamBuffer = 4096
+	o.Disks = 2
+	return o
+}
+
+func build(t *testing.T, el *graph.EdgeList, opts Options) *Engine {
+	t.Helper()
+	e, err := Build(el, t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+func kron(t *testing.T, scale uint, ef int, seed uint64) *graph.EdgeList {
+	t.Helper()
+	el, err := gen.Generate(gen.Graph500Config(scale, ef, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return el
+}
+
+func TestOptionsValidation(t *testing.T) {
+	el := kron(t, 6, 4, 1)
+	bad := testOpts()
+	bad.TupleBytes = 12
+	if _, err := Build(el, t.TempDir(), bad); err == nil {
+		t.Fatal("tuple width 12 accepted")
+	}
+}
+
+func TestBuildSizes(t *testing.T) {
+	el := kron(t, 8, 4, 2)
+	el.Dedup(true)
+	e := build(t, el, testOpts())
+	// Undirected: both directions materialized.
+	if e.NumEdges() != 2*int64(len(el.Edges)) {
+		t.Fatalf("NumEdges = %d, want %d", e.NumEdges(), 2*len(el.Edges))
+	}
+	if e.EdgeFileBytes() != e.NumEdges()*8 {
+		t.Fatalf("EdgeFileBytes = %d", e.EdgeFileBytes())
+	}
+	wide := testOpts()
+	wide.TupleBytes = 16
+	e2 := build(t, el, wide)
+	if e2.EdgeFileBytes() != 2*e.EdgeFileBytes() {
+		t.Fatalf("16-byte tuples should double the file: %d vs %d",
+			e2.EdgeFileBytes(), e.EdgeFileBytes())
+	}
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	el := kron(t, 9, 8, 3)
+	e := build(t, el, testOpts())
+	b := NewBFS(0)
+	st, err := e.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.RefBFS(graph.NewCSR(el, false), 0)
+	for v, d := range b.Depths() {
+		if d != want[v] {
+			t.Fatalf("depth[%d] = %d, want %d", v, d, want[v])
+		}
+	}
+	if st.EdgeBytes == 0 || st.Iterations < 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBFSWideTuples(t *testing.T) {
+	el := kron(t, 8, 4, 4)
+	opts := testOpts()
+	opts.TupleBytes = 16
+	e := build(t, el, opts)
+	b := NewBFS(0)
+	if _, err := e.Run(b); err != nil {
+		t.Fatal(err)
+	}
+	want := graph.RefBFS(graph.NewCSR(el, false), 0)
+	for v, d := range b.Depths() {
+		if d != want[v] {
+			t.Fatalf("depth[%d] = %d, want %d", v, d, want[v])
+		}
+	}
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	el := kron(t, 8, 8, 5)
+	e := build(t, el, testOpts())
+	iters := 10
+	p := NewPageRank(iters, el.OutDegrees())
+	st, err := e.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations != iters {
+		t.Fatalf("iterations = %d", st.Iterations)
+	}
+	// Rank shares travel as float32 (X-Stream's 4-byte vertex values), so
+	// the comparison tolerance is float32-sized.
+	want := graph.RefPageRank(graph.NewCSR(el, false), graph.DefaultPageRank(iters))
+	for v, r := range p.Ranks() {
+		if math.Abs(r-want[v]) > 1e-4 {
+			t.Fatalf("rank[%d] = %v, want %v", v, r, want[v])
+		}
+	}
+	// The pathology the paper exploits: PageRank's update stream is
+	// |E| updates/iteration, as large as the edge stream itself.
+	if st.UpdateBytes < st.EdgeBytes {
+		t.Fatalf("update I/O (%d) should match edge I/O (%d)", st.UpdateBytes, st.EdgeBytes)
+	}
+}
+
+func TestWCCMatchesReference(t *testing.T) {
+	el := kron(t, 9, 2, 6)
+	e := build(t, el, testOpts())
+	w := NewWCC()
+	if _, err := e.Run(w); err != nil {
+		t.Fatal(err)
+	}
+	want := graph.RefWCC(el)
+	for v, l := range w.Labels() {
+		if l != want[v] {
+			t.Fatalf("label[%d] = %d, want %d", v, l, want[v])
+		}
+	}
+}
+
+func TestDirectedBFS(t *testing.T) {
+	el, err := gen.Generate(gen.TwitterLikeConfig(9, 8, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := build(t, el, testOpts())
+	if e.NumEdges() != int64(len(el.Edges)) {
+		t.Fatalf("directed NumEdges = %d, want %d", e.NumEdges(), len(el.Edges))
+	}
+	b := NewBFS(0)
+	if _, err := e.Run(b); err != nil {
+		t.Fatal(err)
+	}
+	want := graph.RefBFS(graph.NewCSR(el, false), 0)
+	for v, d := range b.Depths() {
+		if d != want[v] {
+			t.Fatalf("depth[%d] = %d, want %d", v, d, want[v])
+		}
+	}
+}
+
+func TestEdgeBytesPerIteration(t *testing.T) {
+	el := kron(t, 8, 4, 8)
+	e := build(t, el, testOpts())
+	iters := 4
+	p := NewPageRank(iters, el.OutDegrees())
+	st, err := e.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X-Stream reads the full edge file every iteration.
+	if st.EdgeBytes != int64(iters)*e.EdgeFileBytes() {
+		t.Fatalf("EdgeBytes = %d, want %d", st.EdgeBytes, int64(iters)*e.EdgeFileBytes())
+	}
+}

@@ -15,11 +15,13 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	gstore "github.com/gwu-systems/gstore"
 	"github.com/gwu-systems/gstore/internal/algo"
 	"github.com/gwu-systems/gstore/internal/core"
 	"github.com/gwu-systems/gstore/internal/report"
+	"github.com/gwu-systems/gstore/internal/storage"
 	"github.com/gwu-systems/gstore/internal/tile"
 )
 
@@ -179,6 +181,12 @@ func engineFlags(fs *flag.FlagSet) func() core.Options {
 	policy := fs.String("cache", "proactive", "cache policy: proactive, lru, none")
 	sync := fs.Bool("syncio", false, "use synchronous reads instead of batched AIO")
 	trace := fs.Bool("trace", false, "print one diagnostic line per iteration")
+	retries := fs.Int("retries", 3, "max re-submissions of a failed read before the run fails")
+	faultRate := fs.Float64("faultrate", 0, "injected read-error probability in [0,1]")
+	faultShort := fs.Float64("faultshort", 0, "injected short-read probability in [0,1]")
+	faultSlow := fs.Float64("faultslow", 0, "injected latency-spike probability in [0,1]")
+	faultDelay := fs.Duration("faultdelay", time.Millisecond, "injected latency-spike length")
+	faultSeed := fs.Int64("faultseed", 1, "fault injection seed")
 	return func() core.Options {
 		o := core.DefaultOptions()
 		if *mem > 0 {
@@ -195,6 +203,16 @@ func engineFlags(fs *flag.FlagSet) func() core.Options {
 		o.Disks = *disks
 		o.Bandwidth = *bw
 		o.SyncIO = *sync
+		o.MaxRetries = *retries
+		if *faultRate > 0 || *faultShort > 0 || *faultSlow > 0 {
+			o.Fault = &storage.FaultConfig{
+				Seed:      *faultSeed,
+				ErrorRate: *faultRate,
+				ShortRate: *faultShort,
+				SlowRate:  *faultSlow,
+				SlowDelay: *faultDelay,
+			}
+		}
 		if *trace {
 			o.Trace = os.Stderr
 		}
@@ -321,5 +339,9 @@ func cmdRun(alg string, args []string) error {
 	fmt.Printf("time %v  iterations %d  read %s in %d requests  cache hits %d/%d tiles\n",
 		st.Elapsed.Round(1e6), st.Iterations, report.Bytes(st.BytesRead),
 		st.IORequests, st.TilesFromCache, st.TilesProcessed)
+	if o.Fault != nil || st.IOFailures > 0 {
+		fmt.Printf("faults: %d injected errors, %d short reads, %d slowdowns; %d failed reads recovered by %d retries\n",
+			st.Faults.Errors, st.Faults.Shorts, st.Faults.Slows, st.IOFailures, st.Retries)
+	}
 	return nil
 }

@@ -89,6 +89,14 @@ func NewEngine(g *tile.Graph, opts Options) (*Engine, error) {
 		}
 		array = tiered
 	}
+	if opts.Fault != nil {
+		faulty, err := storage.NewFaultDevice(array, *opts.Fault)
+		if err != nil {
+			array.Close()
+			return nil, err
+		}
+		array = faulty
+	}
 	mman, err := mem.NewManager(opts.MemoryBytes, opts.SegmentSize)
 	if err != nil {
 		array.Close()
@@ -151,6 +159,11 @@ func (e *Engine) Run(a algo.Algorithm) (*Stats, error) {
 
 	stats := &Stats{Algorithm: a.Name()}
 	startStorage := e.array.Stats()
+	fd, hasFaults := e.array.(*storage.FaultDevice)
+	var startFaults storage.FaultStats
+	if hasFaults {
+		startFaults = fd.FaultStats()
+	}
 	begin := time.Now()
 
 	for iter := 0; iter < e.opts.MaxIterations; iter++ {
@@ -187,6 +200,9 @@ func (e *Engine) Run(a algo.Algorithm) (*Stats, error) {
 	stats.Storage = end
 	stats.BytesRead = end.BytesRead - startStorage.BytesRead
 	stats.IORequests = end.Requests - startStorage.Requests
+	if hasFaults {
+		stats.Faults = fd.FaultStats().Sub(startFaults)
+	}
 	return stats, nil
 }
 
@@ -311,6 +327,13 @@ func (e *Engine) planSegments(toFetch []int) []*segmentPlan {
 
 // slide is the pipelined stream of Figure 8: one segment loads while the
 // other is processed; processed segments retire into the cache pool.
+//
+// Error handling: a failed or short read is re-submitted with capped
+// exponential backoff up to Options.MaxRetries times before it fails the
+// run. Every error path drains the in-flight completions it owns and
+// releases every acquired segment, so a failed Run leaves the engine
+// reusable: the next Run starts with both streaming buffers free and an
+// empty completion stream.
 func (e *Engine) slide(a algo.Algorithm, toFetch []int, stats *Stats) error {
 	plans := e.planSegments(toFetch)
 	if len(plans) == 0 {
@@ -318,12 +341,34 @@ func (e *Engine) slide(a algo.Algorithm, toFetch []int, stats *Stats) error {
 	}
 
 	type inflight struct {
-		seg  *mem.Segment
-		plan *segmentPlan
-		left int // outstanding runs
+		seg      *mem.Segment
+		plan     *segmentPlan
+		left     int   // outstanding runs
+		attempts []int // retry attempts per run
 	}
-	var queue []*inflight
-	next := 0
+	var (
+		queue       []*inflight
+		next        int
+		outstanding int // async requests in flight across the whole queue
+	)
+
+	// fail tears the pipeline down after err: it consumes every
+	// completion still owed to us and returns the segments held by the
+	// not-yet-retired tail of the queue (entries before head were
+	// released when they retired).
+	fail := func(head int, err error) error {
+		for outstanding > 0 {
+			comps := e.array.Wait(1, nil)
+			if len(comps) == 0 {
+				break // device closed; nothing further will arrive
+			}
+			outstanding -= len(comps)
+		}
+		for _, fl := range queue[head:] {
+			e.mm.Release(fl.seg)
+		}
+		return err
+	}
 
 	submit := func() error {
 		if next >= len(plans) {
@@ -335,17 +380,17 @@ func (e *Engine) slide(a algo.Algorithm, toFetch []int, stats *Stats) error {
 		}
 		p := plans[next]
 		next++
-		fl := &inflight{seg: s, plan: p, left: len(p.runs)}
+		fl := &inflight{seg: s, plan: p, left: len(p.runs), attempts: make([]int, len(p.runs))}
 		qi := len(queue)
 		queue = append(queue, fl)
 		if e.opts.SyncIO {
 			ws := time.Now()
+			defer func() { stats.IOWait += time.Since(ws) }()
 			for _, r := range p.runs {
-				if err := e.array.ReadSync(r.fileOff, s.Buf[r.bufOff:r.bufOff+r.n]); err != nil {
+				if err := e.readSyncRetry(r, s, stats); err != nil {
 					return err
 				}
 			}
-			stats.IOWait += time.Since(ws)
 			fl.left = 0
 			return nil
 		}
@@ -357,15 +402,53 @@ func (e *Engine) slide(a algo.Algorithm, toFetch []int, stats *Stats) error {
 				Tag:    int64(qi)<<32 | int64(i),
 			}
 		}
-		return e.array.Submit(reqs)
+		if err := e.array.Submit(reqs); err != nil {
+			return err
+		}
+		outstanding += len(reqs)
+		return nil
+	}
+
+	// handle consumes one completion, retrying failed and short reads in
+	// place (the re-submitted request keeps its tag, so it still counts
+	// toward the same segment's outstanding runs).
+	handle := func(c storage.Completion) error {
+		outstanding--
+		qi, ri := int(c.Tag>>32), int(c.Tag&0xffffffff)
+		fl := queue[qi]
+		r := fl.plan.runs[ri]
+		err := c.Err
+		if err == nil && int64(c.N) < r.n {
+			err = fmt.Errorf("core: short read: %d of %d bytes at offset %d", c.N, r.n, r.fileOff)
+		}
+		if err == nil {
+			fl.left--
+			return nil
+		}
+		stats.IOFailures++
+		if fl.attempts[ri] >= e.opts.MaxRetries {
+			return fmt.Errorf("core: tile read failed after %d attempts: %w", fl.attempts[ri]+1, err)
+		}
+		fl.attempts[ri]++
+		stats.Retries++
+		e.backoff(fl.attempts[ri])
+		req := &storage.Request{
+			Offset: r.fileOff,
+			Buf:    fl.seg.Buf[r.bufOff : r.bufOff+r.n],
+			Tag:    c.Tag,
+		}
+		if err := e.array.Submit([]*storage.Request{req}); err != nil {
+			return err
+		}
+		outstanding++
+		return nil
 	}
 
 	// Prime the double buffer: two loads in flight.
-	if err := submit(); err != nil {
-		return err
-	}
-	if err := submit(); err != nil {
-		return err
+	for i := 0; i < 2; i++ {
+		if err := submit(); err != nil {
+			return fail(0, err)
+		}
 	}
 
 	var comps []storage.Completion
@@ -374,11 +457,18 @@ func (e *Engine) slide(a algo.Algorithm, toFetch []int, stats *Stats) error {
 		ws := time.Now()
 		for fl.left > 0 {
 			comps = e.array.Wait(1, comps[:0])
-			for _, c := range comps {
-				if c.Err != nil {
-					return fmt.Errorf("core: tile read failed: %w", c.Err)
+			if len(comps) == 0 {
+				stats.IOWait += time.Since(ws)
+				return fail(head, fmt.Errorf("core: storage closed during run"))
+			}
+			for ci, c := range comps {
+				if err := handle(c); err != nil {
+					// The rest of this batch was already received off the
+					// completion stream; count it before draining.
+					outstanding -= len(comps) - ci - 1
+					stats.IOWait += time.Since(ws)
+					return fail(head, err)
 				}
-				queue[c.Tag>>32].left--
 			}
 		}
 		stats.IOWait += time.Since(ws)
@@ -395,7 +485,7 @@ func (e *Engine) slide(a algo.Algorithm, toFetch []int, stats *Stats) error {
 		fl.seg.SetTiles(refs)
 
 		if err := submit(); err != nil {
-			return err
+			return fail(head, err)
 		}
 
 		var done sync.WaitGroup
@@ -412,10 +502,43 @@ func (e *Engine) slide(a algo.Algorithm, toFetch []int, stats *Stats) error {
 		e.retire(a, fl.seg)
 		// Retiring freed a buffer; make sure the pipeline stays primed.
 		if err := submit(); err != nil {
-			return err
+			return fail(head+1, err)
 		}
 	}
 	return nil
+}
+
+// readSyncRetry performs one synchronous run read with the same
+// retry/backoff policy the async path uses.
+func (e *Engine) readSyncRetry(r run, s *mem.Segment, stats *Stats) error {
+	for attempt := 0; ; attempt++ {
+		err := e.array.ReadSync(r.fileOff, s.Buf[r.bufOff:r.bufOff+r.n])
+		if err == nil {
+			return nil
+		}
+		stats.IOFailures++
+		if attempt >= e.opts.MaxRetries {
+			return fmt.Errorf("core: tile read failed after %d attempts: %w", attempt+1, err)
+		}
+		stats.Retries++
+		e.backoff(attempt + 1)
+	}
+}
+
+// backoff sleeps before the attempt'th retry (1-based): RetryBackoff
+// doubled per attempt, capped at RetryBackoffMax.
+func (e *Engine) backoff(attempt int) {
+	d := e.opts.RetryBackoff
+	if d <= 0 {
+		return
+	}
+	for i := 1; i < attempt && d < e.opts.RetryBackoffMax; i++ {
+		d *= 2
+	}
+	if max := e.opts.RetryBackoffMax; max > 0 && d > max {
+		d = max
+	}
+	time.Sleep(d)
 }
 
 // retire moves a processed segment toward the cache pool according to the

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/gwu-systems/gstore/internal/algo"
+	"github.com/gwu-systems/gstore/internal/graph"
+	"github.com/gwu-systems/gstore/internal/mem"
+	"github.com/gwu-systems/gstore/internal/storage"
+)
+
+func faultOpts(cfg storage.FaultConfig, retries int) Options {
+	o := smallOpts()
+	o.Fault = &cfg
+	o.MaxRetries = retries
+	o.RetryBackoff = 50 * time.Microsecond
+	o.RetryBackoffMax = time.Millisecond
+	return o
+}
+
+// checkNoLeakedSegments asserts both streaming buffers are free.
+func checkNoLeakedSegments(t *testing.T, e *Engine) {
+	t.Helper()
+	a, b := e.mm.Acquire(), e.mm.Acquire()
+	if a == nil || b == nil {
+		t.Fatal("engine leaked a streaming segment")
+	}
+	e.mm.Release(a)
+	e.mm.Release(b)
+}
+
+// Acceptance: at a 10% injected read-error rate, BFS completes correctly
+// via retries and the stats report the recovery.
+func TestEngineFaultInjectionBFSRetries(t *testing.T) {
+	el := kron(t, 10, 8, 21)
+	g := convert(t, el, 6, 4)
+	opts := faultOpts(storage.FaultConfig{Seed: 1, ErrorRate: 0.1}, 8)
+	b := algo.NewBFS(0)
+	st := runAlg(t, g, opts, b)
+	want := graph.RefBFS(graph.NewCSR(el, false), 0)
+	for v, d := range b.Depths() {
+		if d != want[v] {
+			t.Fatalf("depth[%d] = %d, want %d", v, d, want[v])
+		}
+	}
+	if st.Faults.Errors == 0 {
+		t.Fatal("no faults injected at a 10% error rate")
+	}
+	if st.Retries == 0 || st.IOFailures == 0 {
+		t.Fatalf("no retries recorded: %+v", st)
+	}
+	if st.Retries < st.IOFailures {
+		t.Fatalf("every observed failure should have been retried: %d failures, %d retries",
+			st.IOFailures, st.Retries)
+	}
+}
+
+// Short reads and latency spikes must also be survivable, for both
+// PageRank and the synchronous-I/O ablation path.
+func TestEngineFaultShortAndSlowReads(t *testing.T) {
+	el := kron(t, 12, 8, 22)
+	g := convert(t, el, 6, 4)
+	want := graph.RefPageRank(graph.NewCSR(el, false), graph.DefaultPageRank(5))
+
+	for _, syncIO := range []bool{false, true} {
+		opts := faultOpts(storage.FaultConfig{
+			Seed: 2, ErrorRate: 0.05, ShortRate: 0.3,
+			SlowRate: 0.05, SlowDelay: 200 * time.Microsecond,
+		}, 10)
+		opts.SyncIO = syncIO
+		// Stream everything every iteration so plenty of requests pass
+		// through the fault device.
+		opts.Cache = CacheNone
+		opts.MemoryBytes = 128 << 10
+		p := algo.NewPageRank(5)
+		st := runAlg(t, g, opts, p)
+		for v, r := range p.Ranks() {
+			if diff := r - want[v]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("syncIO=%v: rank[%d] = %v, want %v", syncIO, v, r, want[v])
+			}
+		}
+		if st.Faults.Shorts == 0 {
+			t.Fatalf("syncIO=%v: no short reads injected: %+v", syncIO, st.Faults)
+		}
+		if st.Retries == 0 {
+			t.Fatalf("syncIO=%v: no retries recorded", syncIO)
+		}
+	}
+}
+
+// Acceptance: with retries exhausted, Run returns an error, and a
+// subsequent fault-free Run on the same engine succeeds with no leaked
+// segments.
+func TestEngineFaultRetriesExhaustedThenRecovers(t *testing.T) {
+	el := kron(t, 10, 4, 23)
+	g := convert(t, el, 6, 4)
+	e, err := NewEngine(g, faultOpts(storage.FaultConfig{Seed: 3, ErrorRate: 1}, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Two failed runs in a row: the engine must stay usable between them.
+	for round := 0; round < 2; round++ {
+		if _, err := e.Run(algo.NewBFS(0)); !errors.Is(err, storage.ErrInjected) {
+			t.Fatalf("round %d: Run error = %v, want wrapped ErrInjected", round, err)
+		}
+		checkNoLeakedSegments(t, e)
+	}
+
+	fd, ok := e.array.(*storage.FaultDevice)
+	if !ok {
+		t.Fatalf("engine array is %T, want *storage.FaultDevice", e.array)
+	}
+	if err := fd.SetConfig(storage.FaultConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	b := algo.NewBFS(0)
+	st, err := e.Run(b)
+	if err != nil {
+		t.Fatalf("fault-free Run after failed Run: %v", err)
+	}
+	want := graph.RefBFS(graph.NewCSR(el, false), 0)
+	for v, d := range b.Depths() {
+		if d != want[v] {
+			t.Fatalf("depth[%d] = %d, want %d", v, d, want[v])
+		}
+	}
+	if st.Faults.Errors != 0 {
+		t.Fatalf("fault-free run still injected faults: %+v", st.Faults)
+	}
+	checkNoLeakedSegments(t, e)
+}
+
+// Regression for the segment leak: after a forced I/O error (truncated
+// tiles file), the same engine must run again once the file is restored.
+// Before the leak-proof teardown, the second Run deadlocked in Acquire.
+func TestEngineRunTwiceAfterForcedIOError(t *testing.T) {
+	el := kron(t, 9, 4, 24)
+	g := convert(t, el, 5, 2)
+	e, err := NewEngine(g, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	tilesPath := g.BasePath() + ".tiles"
+	saved, err := os.ReadFile(tilesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(tilesPath, 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(algo.NewBFS(0)); err == nil {
+		t.Fatal("engine ignored read failure")
+	}
+	checkNoLeakedSegments(t, e)
+
+	// Restore the bytes in place (same inode; the engine's open handle
+	// sees the restored content) and run again.
+	if err := os.WriteFile(tilesPath, saved, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b := algo.NewBFS(0)
+	if _, err := e.Run(b); err != nil {
+		t.Fatalf("second Run after restored file: %v", err)
+	}
+	want := graph.RefBFS(graph.NewCSR(el, false), 0)
+	for v, d := range b.Depths() {
+		if d != want[v] {
+			t.Fatalf("depth[%d] = %d, want %d", v, d, want[v])
+		}
+	}
+	checkNoLeakedSegments(t, e)
+}
+
+// With retries disabled every injected failure is fatal, but the engine
+// must still tear down cleanly and stay reusable.
+func TestEngineFaultNoRetries(t *testing.T) {
+	el := kron(t, 10, 4, 25)
+	g := convert(t, el, 6, 4)
+	e, err := NewEngine(g, faultOpts(storage.FaultConfig{Seed: 4, ErrorRate: 0.3}, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Run(algo.NewBFS(0)); err == nil {
+		t.Fatal("Run succeeded despite unretried faults")
+	}
+	checkNoLeakedSegments(t, e)
+	if fd, ok := e.array.(*storage.FaultDevice); ok {
+		if err := fd.SetConfig(storage.FaultConfig{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Run(algo.NewBFS(0)); err != nil {
+		t.Fatalf("engine not reusable after unretried fault: %v", err)
+	}
+}
+
+// makeRoomLRU's counting closure must evict exactly enough bytes,
+// including the boundary case of a segment larger than the whole pool.
+func TestMakeRoomLRUBoundary(t *testing.T) {
+	m, err := mem.NewManager(1000, 400) // segments 400, pool 200
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{mm: m, opts: Options{Cache: CacheLRU}}
+
+	fill := func(diskIdx, size int) {
+		s := m.Acquire()
+		if s == nil {
+			t.Fatal("no free segment")
+		}
+		data := s.Buf[:size]
+		for i := range data {
+			data[i] = byte(diskIdx)
+		}
+		s.SetTiles([]mem.TileRef{{DiskIdx: diskIdx, Data: data}})
+		m.Retire(s, nil)
+	}
+	fill(1, 80)
+	fill(2, 80)
+	fill(3, 30) // pool now 190/200
+
+	// Need 100: evicting tiles 1 and 2 (160 bytes) is exactly enough;
+	// tile 3 must survive.
+	e.makeRoomLRU(100)
+	if m.CachedData(1) != nil || m.CachedData(2) != nil {
+		t.Fatal("oldest tiles not evicted")
+	}
+	if m.CachedData(3) == nil {
+		t.Fatal("makeRoomLRU evicted more than needed")
+	}
+	if used := m.PoolUsed(); used != 30 || used+100 > m.PoolCap() {
+		t.Fatalf("PoolUsed = %d after making room for 100", used)
+	}
+
+	// Boundary: an incoming segment bigger than the whole pool evicts
+	// everything, and the subsequent Retire drops the oversized tile.
+	e.makeRoomLRU(300)
+	if m.PoolUsed() != 0 {
+		t.Fatalf("PoolUsed = %d, want 0 after oversized makeRoomLRU", m.PoolUsed())
+	}
+	before := m.Stats().DroppedTiles
+	s := m.Acquire()
+	s.SetTiles([]mem.TileRef{{DiskIdx: 9, Data: s.Buf[:300]}}) // > pool cap 200
+	e.retire(nil, s)
+	if got := m.Stats().DroppedTiles - before; got != 1 {
+		t.Fatalf("DroppedTiles delta = %d, want 1", got)
+	}
+	checkNoLeakedSegments(t, e)
+}
+
+// The backoff schedule must honor the cap.
+func TestBackoffCapped(t *testing.T) {
+	e := &Engine{opts: Options{RetryBackoff: time.Millisecond, RetryBackoffMax: 4 * time.Millisecond}}
+	begin := time.Now()
+	e.backoff(10) // would be 512ms uncapped
+	if elapsed := time.Since(begin); elapsed > 100*time.Millisecond {
+		t.Fatalf("backoff(10) slept %v, want ~4ms cap", elapsed)
+	}
+	e2 := &Engine{opts: Options{}}
+	begin = time.Now()
+	e2.backoff(5) // zero backoff: no sleep
+	if elapsed := time.Since(begin); elapsed > 50*time.Millisecond {
+		t.Fatalf("zero-config backoff slept %v", elapsed)
+	}
+}

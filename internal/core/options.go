@@ -66,6 +66,22 @@ type Options struct {
 	// one synchronous request at a time (the POSIX-I/O ablation).
 	SyncIO bool
 
+	// MaxRetries is how many times one failed or short read request is
+	// re-submitted before the error surfaces and fails the Run. Zero
+	// disables retries. A failed Run always leaves the engine reusable:
+	// every error path releases its segments and drains in-flight I/O.
+	MaxRetries int
+	// RetryBackoff is the pause before the first retry of a request; it
+	// doubles with each further attempt, capped at RetryBackoffMax.
+	// Defaults to 100µs (capped at 10ms) when MaxRetries is set.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+
+	// Fault, when non-nil, wraps the storage array in a fault-injecting
+	// FaultDevice (seeded, deterministic) so runs can be exercised under
+	// read errors, short reads, and latency spikes.
+	Fault *storage.FaultConfig
+
 	// Storage simulation parameters (see internal/storage).
 	Disks      int
 	StripeSize int64
@@ -105,6 +121,7 @@ func DefaultOptions() Options {
 		Selective:     true,
 		Cache:         CacheProactive,
 		MaxIterations: 1 << 20,
+		MaxRetries:    3,
 		Disks:         8,
 		StripeSize:    storage.DefaultStripeSize,
 	}
@@ -119,6 +136,15 @@ func (o *Options) normalize() error {
 	}
 	if o.Disks <= 0 {
 		o.Disks = 1
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 100 * time.Microsecond
+	}
+	if o.RetryBackoffMax <= 0 {
+		o.RetryBackoffMax = 10 * time.Millisecond
 	}
 	if o.HDD != nil {
 		if o.HDD.Fraction < 0 || o.HDD.Fraction > 1 {
@@ -160,6 +186,16 @@ type Stats struct {
 	TilesSkipped   int64 // skipped by selective fetching
 	BytesRead      int64
 	IORequests     int64
+
+	// IOFailures counts failed or short read attempts the scheduler
+	// observed; each may be retried, so IOFailures > 0 with a nil Run
+	// error means retries recovered the run.
+	IOFailures int64
+	// Retries counts read requests re-submitted after a failure.
+	Retries int64
+	// Faults holds the injected-fault counters for this run when
+	// Options.Fault is set (zero otherwise).
+	Faults storage.FaultStats
 
 	MetadataBytes int64
 	Mem           mem.Stats

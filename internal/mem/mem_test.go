@@ -232,3 +232,84 @@ func TestQuickPoolConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The engine's LRU eviction uses a counting closure over CachedTiles to
+// drop the k oldest tiles; verify that Evict under such a closure frees
+// exactly the sum of the dropped tiles' sizes and keeps the rest intact.
+func TestEvictCountClosureAccounting(t *testing.T) {
+	m := newMgr(t, 1200, 400) // pool of 400
+	sizes := []int{50, 70, 30, 90, 60}
+	s := m.Acquire()
+	var tiles []TileRef
+	for i, n := range sizes {
+		tiles = append(tiles, tileData(i, n))
+	}
+	fillSegment(s, tiles...)
+	m.Retire(s, nil)
+
+	for _, drop := range []int{0, 2} { // cumulative: first none, then two
+		i := 0
+		freed := m.Evict(func(TileRef) bool { i++; return i > drop })
+		want := int64(0)
+		for _, n := range sizes[:drop] {
+			want += int64(n)
+		}
+		if freed != want {
+			t.Fatalf("drop %d: freed %d bytes, want %d", drop, freed, want)
+		}
+		sizes = sizes[drop:]
+	}
+	if m.PoolUsed() != 30+90+60 {
+		t.Fatalf("PoolUsed = %d after evicting first two", m.PoolUsed())
+	}
+	if m.CachedData(0) != nil || m.CachedData(1) != nil {
+		t.Fatal("evicted tiles still cached")
+	}
+	for i, wantIdx := range []int{2, 3, 4} {
+		got := m.CachedTiles()[i]
+		if got.DiskIdx != wantIdx {
+			t.Fatalf("survivor %d = tile %d, want %d", i, got.DiskIdx, wantIdx)
+		}
+		want := tileData(wantIdx, len(got.Data))
+		if !bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("tile %d corrupted by compaction", wantIdx)
+		}
+	}
+	if m.Stats().EvictedTiles != 2 {
+		t.Fatalf("EvictedTiles = %d, want 2", m.Stats().EvictedTiles)
+	}
+}
+
+// Retiring a segment whose tiles exceed the whole pool must drop the
+// overflow tile-by-tile, with DroppedTiles matching exactly.
+func TestRetireDropCountMatchesStats(t *testing.T) {
+	m := newMgr(t, 500, 200) // pool of 100
+	s := m.Acquire()
+	fillSegment(s, tileData(1, 60), tileData(2, 50), tileData(3, 30), tileData(4, 10))
+	m.Retire(s, nil) // 60 fits; 50 doesn't; 30 fits (90); 10 fits (100)
+	if m.PoolUsed() != 100 {
+		t.Fatalf("PoolUsed = %d, want 100", m.PoolUsed())
+	}
+	if got := m.Stats().DroppedTiles; got != 1 {
+		t.Fatalf("DroppedTiles = %d, want 1", got)
+	}
+
+	// A tile larger than the entire pool can never be cached.
+	m2 := newMgr(t, 500, 200)
+	s2 := m2.Acquire()
+	fillSegment(s2, tileData(9, 100))
+	m2.Retire(s2, nil)
+	if m2.PoolUsed() != 100 {
+		t.Fatalf("PoolUsed = %d, want 100 (tile exactly fills the pool)", m2.PoolUsed())
+	}
+	s3 := m2.Acquire()
+	fillSegment(s3, tileData(10, 100))
+	m2.Retire(s3, nil) // pool already full: dropped
+	if got := m2.Stats().DroppedTiles; got != 1 {
+		t.Fatalf("DroppedTiles = %d, want 1", got)
+	}
+	// Both segments must be free again after retiring.
+	if a, b := m2.Acquire(), m2.Acquire(); a == nil || b == nil {
+		t.Fatal("segments leaked by Retire")
+	}
+}

@@ -1,0 +1,296 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error injected read faults surface. Callers can
+// errors.Is against it to distinguish injected faults from real ones.
+var ErrInjected = errors.New("storage: injected read fault")
+
+// FaultConfig configures a FaultDevice. All probabilities are in [0,1]
+// and are drawn from a generator seeded with Seed, in request submission
+// order, so a fixed workload sees a reproducible fault sequence.
+type FaultConfig struct {
+	// Seed seeds the deterministic fault generator.
+	Seed int64
+	// ErrorRate is the probability that a read request fails outright
+	// with ErrInjected.
+	ErrorRate float64
+	// ShortRate is the probability that a read returns fewer bytes than
+	// requested (at least one, at most all but one).
+	ShortRate float64
+	// SlowRate is the probability that a request's completion is delayed
+	// by SlowDelay — a latency spike. Spikes stall the completion pump,
+	// so like a real device hiccup they can delay later completions too.
+	SlowRate float64
+	// SlowDelay is the length of one latency spike.
+	SlowDelay time.Duration
+}
+
+func (c *FaultConfig) validate() error {
+	for _, p := range []float64{c.ErrorRate, c.ShortRate, c.SlowRate} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("storage: fault probability %v outside [0,1]", p)
+		}
+	}
+	if c.SlowDelay < 0 {
+		return errors.New("storage: negative fault slow delay")
+	}
+	return nil
+}
+
+// FaultStats counts injected faults since the device was created.
+type FaultStats struct {
+	// Requests is the number of read requests that passed through the
+	// device (including ReadSync calls).
+	Requests int64
+	// Errors counts requests failed outright with ErrInjected.
+	Errors int64
+	// Shorts counts requests truncated to a short read.
+	Shorts int64
+	// Slows counts latency spikes injected.
+	Slows int64
+}
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (s FaultStats) Sub(prev FaultStats) FaultStats {
+	return FaultStats{
+		Requests: s.Requests - prev.Requests,
+		Errors:   s.Errors - prev.Errors,
+		Shorts:   s.Shorts - prev.Shorts,
+		Slows:    s.Slows - prev.Slows,
+	}
+}
+
+// FaultDevice wraps a Device and injects read errors, short reads, and
+// latency spikes according to a FaultConfig. Fault decisions are made at
+// submission time under a lock, so a serial submitter (like the engine's
+// slide loop) gets a fully deterministic fault sequence for a given seed.
+//
+// Like Tiered, the device remaps caller tags to internal ids so a pump
+// goroutine can merge injected completions with forwarded ones; every
+// submitted request produces exactly one completion.
+type FaultDevice struct {
+	inner Device
+
+	mu    sync.Mutex
+	cfg   FaultConfig
+	rng   *rand.Rand
+	stats FaultStats
+
+	completions chan Completion
+	pending     sync.Map // internal id -> faultPending
+	nextID      atomic.Int64
+	pump        sync.WaitGroup
+	closed      atomic.Bool
+}
+
+var _ Device = (*FaultDevice)(nil)
+
+type faultPending struct {
+	tag   int64
+	delay time.Duration
+}
+
+// NewFaultDevice wraps inner. It takes ownership: Close closes inner.
+func NewFaultDevice(inner Device, cfg FaultConfig) (*FaultDevice, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	f := &FaultDevice{
+		inner:       inner,
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		completions: make(chan Completion, 4096),
+	}
+	f.pump.Add(1)
+	go f.run()
+	return f, nil
+}
+
+// SetConfig replaces the fault configuration and reseeds the generator,
+// so a caller can change rates (or turn faults off) between runs.
+func (f *FaultDevice) SetConfig(cfg FaultConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.cfg = cfg
+	f.rng = rand.New(rand.NewSource(cfg.Seed))
+	f.mu.Unlock()
+	return nil
+}
+
+// FaultStats returns a snapshot of the injection counters.
+func (f *FaultDevice) FaultStats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// roll draws one fault decision. Caller holds f.mu.
+func (f *FaultDevice) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return f.rng.Float64() < p
+}
+
+// run forwards inner completions, restoring caller tags and applying
+// injected latency spikes.
+func (f *FaultDevice) run() {
+	defer f.pump.Done()
+	for {
+		comps := f.inner.Wait(1, nil)
+		if len(comps) == 0 {
+			return // inner device closed
+		}
+		for _, c := range comps {
+			v, ok := f.pending.Load(c.Tag)
+			if !ok {
+				continue
+			}
+			f.pending.Delete(c.Tag)
+			p := v.(faultPending)
+			if p.delay > 0 {
+				time.Sleep(p.delay)
+			}
+			f.completions <- Completion{Tag: p.tag, N: c.N, Err: c.Err}
+		}
+	}
+}
+
+// Submit implements Device. Requests chosen for an injected error are not
+// forwarded; their failure completions arrive through Wait like any other.
+func (f *FaultDevice) Submit(reqs []*Request) error {
+	if f.closed.Load() {
+		return errors.New("storage: submit on closed fault device")
+	}
+	var fwd []*Request
+	var injected []Completion
+	f.mu.Lock()
+	for _, r := range reqs {
+		f.stats.Requests++
+		if f.roll(f.cfg.ErrorRate) {
+			f.stats.Errors++
+			injected = append(injected, Completion{Tag: r.Tag, Err: ErrInjected})
+			continue
+		}
+		buf := r.Buf
+		if len(buf) > 1 && f.roll(f.cfg.ShortRate) {
+			f.stats.Shorts++
+			buf = buf[:1+f.rng.Intn(len(buf)-1)]
+		}
+		var delay time.Duration
+		if f.roll(f.cfg.SlowRate) {
+			f.stats.Slows++
+			delay = f.cfg.SlowDelay
+		}
+		id := f.nextID.Add(1)
+		f.pending.Store(id, faultPending{tag: r.Tag, delay: delay})
+		fwd = append(fwd, &Request{Offset: r.Offset, Buf: buf, Tag: id})
+	}
+	f.mu.Unlock()
+	for _, c := range injected {
+		f.completions <- c
+	}
+	if len(fwd) > 0 {
+		return f.inner.Submit(fwd)
+	}
+	return nil
+}
+
+// Wait implements Device with the usual min-then-drain semantics.
+func (f *FaultDevice) Wait(min int, out []Completion) []Completion {
+	received := 0
+	for received < min {
+		c, ok := <-f.completions
+		if !ok {
+			return out
+		}
+		out = append(out, c)
+		received++
+	}
+	for {
+		select {
+		case c, ok := <-f.completions:
+			if !ok {
+				return out
+			}
+			out = append(out, c)
+		default:
+			return out
+		}
+	}
+}
+
+// ReadSync implements Device. A short read performs the truncated read
+// and then reports it as an error (a synchronous caller cannot observe a
+// byte count), wrapping ErrInjected.
+func (f *FaultDevice) ReadSync(offset int64, buf []byte) error {
+	if f.closed.Load() {
+		return errors.New("storage: read on closed fault device")
+	}
+	f.mu.Lock()
+	f.stats.Requests++
+	fail := f.roll(f.cfg.ErrorRate)
+	short := 0
+	if !fail && len(buf) > 1 && f.roll(f.cfg.ShortRate) {
+		f.stats.Shorts++
+		short = 1 + f.rng.Intn(len(buf)-1)
+	}
+	var delay time.Duration
+	if !fail && f.roll(f.cfg.SlowRate) {
+		f.stats.Slows++
+		delay = f.cfg.SlowDelay
+	}
+	if fail {
+		f.stats.Errors++
+	}
+	f.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if short > 0 {
+		if err := f.inner.ReadSync(offset, buf[:short]); err != nil {
+			return err
+		}
+		return fmt.Errorf("storage: injected short read (%d of %d bytes): %w",
+			short, len(buf), ErrInjected)
+	}
+	return f.inner.ReadSync(offset, buf)
+}
+
+// Stats implements Device, forwarding the inner device's counters.
+func (f *FaultDevice) Stats() Stats { return f.inner.Stats() }
+
+// Close implements Device. Pending completions no one will read are
+// dropped so the pump can exit even when the channel is full.
+func (f *FaultDevice) Close() {
+	if f.closed.Swap(true) {
+		return
+	}
+	f.inner.Close()
+	done := make(chan struct{})
+	go func() {
+		f.pump.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case <-f.completions:
+		case <-done:
+			close(f.completions)
+			return
+		}
+	}
+}

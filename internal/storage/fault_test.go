@@ -1,0 +1,219 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func submitN(t *testing.T, d Device, n, size int) []Completion {
+	t.Helper()
+	reqs := make([]*Request, n)
+	for i := range reqs {
+		reqs[i] = &Request{Offset: int64(i * size), Buf: make([]byte, size), Tag: int64(i)}
+	}
+	if err := d.Submit(reqs); err != nil {
+		t.Fatal(err)
+	}
+	comps := make([]Completion, 0, n)
+	for len(comps) < n {
+		comps = d.Wait(1, comps)
+	}
+	return comps
+}
+
+func newFault(t *testing.T, src *memSource, cfg FaultConfig) *FaultDevice {
+	t.Helper()
+	inner, err := NewArray(src, Options{NumDisks: 2, StripeSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFaultDevice(inner, cfg)
+	if err != nil {
+		inner.Close()
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFaultConfigValidation(t *testing.T) {
+	src := newMemSource(1024)
+	inner, err := NewArray(src, Options{NumDisks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	if _, err := NewFaultDevice(inner, FaultConfig{ErrorRate: 1.5}); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+	if _, err := NewFaultDevice(inner, FaultConfig{SlowDelay: -time.Second}); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+}
+
+func TestFaultDeviceNoFaultsIsTransparent(t *testing.T) {
+	src := newMemSource(1 << 16)
+	f := newFault(t, src, FaultConfig{Seed: 1})
+	defer f.Close()
+	reqs := []*Request{{Offset: 100, Buf: make([]byte, 5000), Tag: 9}}
+	if err := f.Submit(reqs); err != nil {
+		t.Fatal(err)
+	}
+	comps := f.Wait(1, nil)
+	if len(comps) != 1 || comps[0].Tag != 9 || comps[0].Err != nil || comps[0].N != 5000 {
+		t.Fatalf("completions = %+v", comps)
+	}
+	if !bytes.Equal(reqs[0].Buf, src.data[100:5100]) {
+		t.Fatal("data mismatch through fault device")
+	}
+	if st := f.FaultStats(); st.Requests != 1 || st.Errors+st.Shorts+st.Slows != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFaultDeviceErrorRateOne(t *testing.T) {
+	src := newMemSource(1 << 16)
+	f := newFault(t, src, FaultConfig{Seed: 2, ErrorRate: 1})
+	defer f.Close()
+	comps := submitN(t, f, 10, 512)
+	for _, c := range comps {
+		if !errors.Is(c.Err, ErrInjected) {
+			t.Fatalf("completion %+v not an injected error", c)
+		}
+	}
+	if st := f.FaultStats(); st.Errors != 10 {
+		t.Fatalf("Errors = %d, want 10", st.Errors)
+	}
+}
+
+func TestFaultDeviceShortReads(t *testing.T) {
+	src := newMemSource(1 << 16)
+	f := newFault(t, src, FaultConfig{Seed: 3, ShortRate: 1})
+	defer f.Close()
+	comps := submitN(t, f, 10, 512)
+	for _, c := range comps {
+		if c.Err != nil {
+			t.Fatalf("short read surfaced as error: %+v", c)
+		}
+		if c.N <= 0 || c.N >= 512 {
+			t.Fatalf("short read N = %d, want in (0,512)", c.N)
+		}
+	}
+	if st := f.FaultStats(); st.Shorts != 10 {
+		t.Fatalf("Shorts = %d, want 10", st.Shorts)
+	}
+}
+
+func TestFaultDeviceSlowdowns(t *testing.T) {
+	src := newMemSource(1 << 16)
+	const delay = 20 * time.Millisecond
+	f := newFault(t, src, FaultConfig{Seed: 4, SlowRate: 1, SlowDelay: delay})
+	defer f.Close()
+	begin := time.Now()
+	comps := submitN(t, f, 3, 512)
+	if elapsed := time.Since(begin); elapsed < 3*delay {
+		t.Fatalf("3 slow completions took %v, want >= %v", elapsed, 3*delay)
+	}
+	for _, c := range comps {
+		if c.Err != nil || c.N != 512 {
+			t.Fatalf("slow completion corrupted: %+v", c)
+		}
+	}
+	if st := f.FaultStats(); st.Slows != 3 {
+		t.Fatalf("Slows = %d, want 3", st.Slows)
+	}
+}
+
+// Same seed and workload must produce the identical fault sequence.
+func TestFaultDeviceDeterministic(t *testing.T) {
+	outcome := func() []bool {
+		src := newMemSource(1 << 16)
+		f := newFault(t, src, FaultConfig{Seed: 42, ErrorRate: 0.3, ShortRate: 0.3})
+		defer f.Close()
+		comps := submitN(t, f, 64, 256)
+		res := make([]bool, 64)
+		for _, c := range comps {
+			res[c.Tag] = c.Err != nil || c.N < 256
+		}
+		return res
+	}
+	a, b := outcome(), outcome()
+	faults := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: fault decision differs between identical runs", i)
+		}
+		if a[i] {
+			faults++
+		}
+	}
+	if faults == 0 || faults == 64 {
+		t.Fatalf("fault mix degenerate: %d/64", faults)
+	}
+}
+
+func TestFaultDeviceReadSync(t *testing.T) {
+	src := newMemSource(1 << 16)
+	f := newFault(t, src, FaultConfig{Seed: 5, ErrorRate: 1})
+	defer f.Close()
+	if err := f.ReadSync(0, make([]byte, 100)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("ReadSync error = %v, want ErrInjected", err)
+	}
+
+	src2 := newMemSource(1 << 16)
+	g := newFault(t, src2, FaultConfig{Seed: 6, ShortRate: 1})
+	defer g.Close()
+	if err := g.ReadSync(0, make([]byte, 100)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("short ReadSync error = %v, want wrapped ErrInjected", err)
+	}
+}
+
+func TestFaultDeviceSetConfig(t *testing.T) {
+	src := newMemSource(1 << 16)
+	f := newFault(t, src, FaultConfig{Seed: 7, ErrorRate: 1})
+	defer f.Close()
+	if err := f.ReadSync(0, make([]byte, 64)); err == nil {
+		t.Fatal("fault device with ErrorRate 1 did not fail")
+	}
+	if err := f.SetConfig(FaultConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if err := f.ReadSync(0, buf); err != nil {
+		t.Fatalf("fault-free read failed after SetConfig: %v", err)
+	}
+	if !bytes.Equal(buf, src.data[:64]) {
+		t.Fatal("data mismatch after SetConfig")
+	}
+	if err := f.SetConfig(FaultConfig{ErrorRate: 2}); err == nil {
+		t.Fatal("SetConfig accepted invalid rate")
+	}
+}
+
+// Closing a fault device with undrained completions (including injected
+// ones) must not deadlock.
+func TestFaultDeviceCloseWithPending(t *testing.T) {
+	src := newMemSource(1 << 20)
+	f := newFault(t, src, FaultConfig{Seed: 8, ErrorRate: 0.5})
+	var reqs []*Request
+	for i := 0; i < 6000; i++ {
+		reqs = append(reqs, &Request{Offset: int64(i * 16), Buf: make([]byte, 16), Tag: int64(i)})
+	}
+	if err := f.Submit(reqs); err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan struct{})
+	go func() {
+		f.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close deadlocked with undrained completions")
+	}
+	if err := f.Submit(reqs[:1]); err == nil {
+		t.Fatal("Submit after Close succeeded")
+	}
+}

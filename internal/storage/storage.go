@@ -155,21 +155,26 @@ func (a *Array) disk(i int) {
 				time.Sleep(d)
 			}
 		}
+		var n int
 		var err error
 		if len(c.buf) > 0 {
-			_, err = a.src.ReadAt(c.buf, c.offset)
+			n, err = a.src.ReadAt(c.buf, c.offset)
+			if err == io.EOF && n == len(c.buf) {
+				// ReaderAt may report EOF alongside a complete read.
+				err = nil
+			}
 		}
 		a.chunks.Add(1)
-		a.bytesRead.Add(int64(len(c.buf)))
-		a.finishChunk(c, err)
+		a.bytesRead.Add(int64(n))
+		a.finishChunk(c, n, err)
 	}
 }
 
-func (a *Array) finishChunk(c chunk, err error) {
+func (a *Array) finishChunk(c chunk, n int, err error) {
 	if err != nil {
 		c.req.err.CompareAndSwap(nil, err)
 	}
-	atomic.AddInt32(&c.req.n, int32(len(c.buf)))
+	atomic.AddInt32(&c.req.n, int32(n))
 	if atomic.AddInt32(&c.req.remaining, -1) == 0 {
 		comp := Completion{Tag: c.req.tag, N: int(atomic.LoadInt32(&c.req.n))}
 		if e, ok := c.req.err.Load().(error); ok {
@@ -289,7 +294,9 @@ func (a *Array) Stats() Stats {
 }
 
 // Close shuts the disk goroutines down. Pending requests are served
-// before Close returns. The completion channel is then closed; any
+// before Close returns, but their completions are dropped if no one is
+// draining them — a disk goroutine blocked on a full completion channel
+// must not deadlock shutdown. The completion channel is then closed; any
 // blocked Wait returns what it has.
 func (a *Array) Close() {
 	if a.closed.Swap(true) {
@@ -298,6 +305,17 @@ func (a *Array) Close() {
 	for _, q := range a.queues {
 		close(q)
 	}
-	a.wg.Wait()
-	close(a.completions)
+	done := make(chan struct{})
+	go func() {
+		a.wg.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case <-a.completions:
+		case <-done:
+			close(a.completions)
+			return
+		}
+	}
 }

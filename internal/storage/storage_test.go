@@ -202,6 +202,96 @@ func TestSubmitAfterClose(t *testing.T) {
 	a.Close() // double close must be safe
 }
 
+// A failed or short chunk must not inflate the completion's byte count:
+// N and Stats.BytesRead report what ReadAt actually returned.
+func TestShortReadAccounting(t *testing.T) {
+	src := newMemSource(1000) // reads past 1000 come back short with io.EOF
+	a, err := NewArray(src, Options{NumDisks: 2, StripeSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	buf := make([]byte, 300)
+	if err := a.Submit([]*Request{{Offset: 900, Buf: buf, Tag: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	comps := a.Wait(1, nil)
+	if len(comps) != 1 {
+		t.Fatalf("completions = %+v", comps)
+	}
+	if comps[0].Err == nil {
+		t.Fatal("EOF-truncated read completed without error")
+	}
+	if comps[0].N != 100 {
+		t.Fatalf("N = %d, want the 100 bytes actually read", comps[0].N)
+	}
+	if st := a.Stats(); st.BytesRead != 100 {
+		t.Fatalf("BytesRead = %d, want 100", st.BytesRead)
+	}
+}
+
+// A read ending exactly at EOF is complete, even if the source reports
+// io.EOF alongside the full byte count.
+func TestFullReadAtEOF(t *testing.T) {
+	src := &eofSource{data: make([]byte, 256)}
+	a, err := NewArray(src, Options{NumDisks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.ReadSync(128, make([]byte, 128)); err != nil {
+		t.Fatalf("full read at EOF failed: %v", err)
+	}
+}
+
+// eofSource returns (n, io.EOF) whenever a read reaches the end of the
+// data, as io.ReaderAt explicitly permits.
+type eofSource struct{ data []byte }
+
+func (s *eofSource) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(s.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.data[off:])
+	if off+int64(n) == int64(len(s.data)) {
+		return n, io.EOF
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Close must return even when the completion channel is full and nobody
+// is draining it — disk goroutines blocked in finishChunk used to keep
+// wg.Wait from ever returning.
+func TestCloseWithUndrainedCompletions(t *testing.T) {
+	src := newMemSource(1 << 20)
+	a, err := NewArray(src, Options{NumDisks: 1, StripeSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More chunks than the 4096-completion channel holds, but few enough
+	// that Submit itself can finish (disk queue + channel + one in hand).
+	var reqs []*Request
+	for i := 0; i < 5000; i++ {
+		reqs = append(reqs, &Request{Offset: int64(i * 16), Buf: make([]byte, 16), Tag: int64(i)})
+	}
+	if err := a.Submit(reqs); err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan struct{})
+	go func() {
+		a.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close deadlocked with undrained completions")
+	}
+}
+
 // Throughput through the throttle model must scale with the number of
 // disks: reading the same data on 4 disks should take roughly a quarter
 // of 1 disk (this is the mechanism behind Figure 15).

@@ -204,13 +204,26 @@ func (t *Tiered) TierStats() (fast, slow Stats) {
 	return t.fast.Stats(), t.slow.Stats()
 }
 
-// Close implements Device.
+// Close implements Device. As with Array.Close, pending merged
+// completions are dropped if no one is draining them, so a pump blocked
+// on a full channel cannot deadlock shutdown.
 func (t *Tiered) Close() {
 	if t.closed.Swap(true) {
 		return
 	}
 	t.fast.Close()
 	t.slow.Close()
-	t.pumps.Wait()
-	close(t.completions)
+	done := make(chan struct{})
+	go func() {
+		t.pumps.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case <-t.completions:
+		case <-done:
+			close(t.completions)
+			return
+		}
+	}
 }

@@ -181,3 +181,39 @@ func TestQuickTieredCorrectness(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Tiered.Close must return even when its merged completion channel is
+// full and nobody is draining — the pump goroutines must not wedge
+// shutdown (same hazard as Array.Close).
+func TestTieredCloseWithUndrainedCompletions(t *testing.T) {
+	src := newMemSource(1 << 20)
+	fast, err := NewArray(src, Options{NumDisks: 2, StripeSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := NewArray(src, Options{NumDisks: 1, StripeSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := NewTiered(fast, slow, 1<<19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []*Request
+	for i := 0; i < 5000; i++ {
+		reqs = append(reqs, &Request{Offset: int64(i * 16), Buf: make([]byte, 16), Tag: int64(i)})
+	}
+	if err := td.Submit(reqs); err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan struct{})
+	go func() {
+		td.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Tiered.Close deadlocked with undrained completions")
+	}
+}

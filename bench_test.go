@@ -11,6 +11,7 @@
 package gstore_test
 
 import (
+	"context"
 	"io"
 	"os"
 	"sync"
@@ -186,7 +187,7 @@ func BenchmarkEnginePageRankIteration(b *testing.B) {
 	b.SetBytes(g.DataBytes())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Run(algo.NewPageRank(1)); err != nil {
+		if _, err := e.Run(context.Background(), algo.NewPageRank(1)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -206,7 +207,7 @@ func BenchmarkEngineBFS(b *testing.B) {
 	defer e.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Run(algo.NewBFS(0)); err != nil {
+		if _, err := e.Run(context.Background(), algo.NewBFS(0)); err != nil {
 			b.Fatal(err)
 		}
 	}

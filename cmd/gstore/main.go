@@ -11,15 +11,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	gstore "github.com/gwu-systems/gstore"
 	"github.com/gwu-systems/gstore/internal/algo"
 	"github.com/gwu-systems/gstore/internal/core"
+	"github.com/gwu-systems/gstore/internal/metrics"
 	"github.com/gwu-systems/gstore/internal/report"
 	"github.com/gwu-systems/gstore/internal/storage"
 	"github.com/gwu-systems/gstore/internal/tile"
@@ -234,11 +238,16 @@ func cmdRun(alg string, args []string) error {
 	root := fs.Uint64("root", 0, "BFS root vertex")
 	iters := fs.Int("iters", 10, "PageRank iterations")
 	topN := fs.Int("top", 5, "results to print")
+	dumpMetrics := fs.Bool("metrics", false, "print final counters in Prometheus text format on stderr")
 	opts := engineFlags(fs)
 	fs.Parse(args)
 	if *path == "" {
 		return fmt.Errorf("%s: -graph is required", alg)
 	}
+	// Ctrl-C cancels the run instead of killing the process mid-I/O; the
+	// engine's cancellation path releases its segments before returning.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	g, err := gstore.Open(*path)
 	if err != nil {
 		return err
@@ -274,7 +283,7 @@ func cmdRun(alg string, args []string) error {
 		} else {
 			run = algo.NewAsyncBFS(uint32(*root))
 		}
-		if st, err = e.Run(run); err != nil {
+		if st, err = e.Run(ctx, run); err != nil {
 			return err
 		}
 		reached := 0
@@ -291,7 +300,7 @@ func cmdRun(alg string, args []string) error {
 			alg, reached, g.Meta.NumVertices, maxDepth, st.MTEPS(2*g.Meta.NumOriginal))
 	case "pagerank":
 		p := algo.NewPageRank(*iters)
-		if st, err = e.Run(p); err != nil {
+		if st, err = e.Run(ctx, p); err != nil {
 			return err
 		}
 		type vr struct {
@@ -321,7 +330,7 @@ func cmdRun(alg string, args []string) error {
 		} else {
 			run = algo.NewSCC()
 		}
-		if st, err = e.Run(run); err != nil {
+		if st, err = e.Run(ctx, run); err != nil {
 			return err
 		}
 		comps := map[uint32]int{}
@@ -342,6 +351,20 @@ func cmdRun(alg string, args []string) error {
 	if o.Fault != nil || st.IOFailures > 0 {
 		fmt.Printf("faults: %d injected errors, %d short reads, %d slowdowns; %d failed reads recovered by %d retries\n",
 			st.Faults.Errors, st.Faults.Shorts, st.Faults.Slows, st.IOFailures, st.Retries)
+	}
+	if *dumpMetrics {
+		// The same counters a live gstored exposes on /metrics, rendered
+		// once at exit for scripted comparison.
+		reg := metrics.NewRegistry()
+		core.PublishStats(reg, g.Meta.Name, st)
+		reg.Counter("gstore_engine_runs_total",
+			"Engine runs by graph, algorithm and outcome.",
+			metrics.L("graph", g.Meta.Name),
+			metrics.L("algo", alg),
+			metrics.L("status", "ok")).Inc()
+		if err := reg.WritePrometheus(os.Stderr); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -6,16 +6,29 @@
 //
 //	gstored -listen :8080 -graph social=data/twitter -graph web=data/crawl
 //
-// Endpoints: GET /healthz, GET /graphs, GET /graphs/{name},
-// POST /graphs/{name}/{bfs|msbfs|pagerank|wcc|scc}.
+// Endpoints: GET /healthz, GET /metrics (Prometheus text), GET /graphs,
+// GET /graphs/{name}, POST /graphs/{name}/{bfs|msbfs|pagerank|wcc|scc},
+// and (unless -pprof=false) the net/http/pprof profiling handlers under
+// /debug/pprof/.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: request contexts
+// are canceled (which cancels in-flight engine runs), the listener
+// closes, and in-flight handlers get -drain-timeout to finish.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"github.com/gwu-systems/gstore/internal/core"
 	"github.com/gwu-systems/gstore/internal/server"
@@ -37,12 +50,24 @@ func main() {
 	threads := flag.Int("threads", 0, "worker threads per graph")
 	disks := flag.Int("disks", 8, "simulated SSD count")
 	bw := flag.Float64("bandwidth", 0, "per-disk bandwidth in bytes/s (0 = unthrottled)")
+	pprofOn := flag.Bool("pprof", true, "serve net/http/pprof under /debug/pprof/")
+	readHeaderTO := flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout")
+	readTO := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
+	idleTO := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout")
+	writeTO := flag.Duration("write-timeout", 0, "http.Server WriteTimeout (0 = none; long runs stream no body until done)")
+	drainTO := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain deadline")
 	flag.Var(&graphs, "graph", "name=basePath of a converted graph (repeatable)")
 	flag.Parse()
 
 	if len(graphs) == 0 {
 		log.Fatal("gstored: at least one -graph name=path is required")
 	}
+
+	// ctx cancels on SIGINT/SIGTERM. It is also every request's base
+	// context, so shutdown cancels in-flight engine runs promptly instead
+	// of waiting a full algorithm out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	srv := server.New()
 	defer srv.Close()
@@ -69,6 +94,40 @@ func main() {
 		fmt.Printf("loaded %s from %s\n", name, path)
 	}
 
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	hs := &http.Server{
+		Addr:              *listen,
+		Handler:           mux,
+		ReadHeaderTimeout: *readHeaderTO,
+		ReadTimeout:       *readTO,
+		IdleTimeout:       *idleTO,
+		WriteTimeout:      *writeTO,
+		BaseContext:       func(net.Listener) context.Context { return ctx },
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
 	fmt.Printf("gstored listening on %s\n", *listen)
-	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("gstored: %v", err)
+	case <-ctx.Done():
+		fmt.Println("gstored: signal received, draining")
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("gstored: drain incomplete: %v", err)
+			_ = hs.Close()
+		}
+	}
 }

@@ -26,6 +26,8 @@
 package gstore
 
 import (
+	"context"
+
 	"github.com/gwu-systems/gstore/internal/algo"
 	"github.com/gwu-systems/gstore/internal/core"
 	"github.com/gwu-systems/gstore/internal/gen"
@@ -145,7 +147,7 @@ func (e *Engine) Close() { e.e.Close() }
 // (-1 = unreached) plus run statistics.
 func (e *Engine) BFS(root uint32) ([]int32, *Stats, error) {
 	b := algo.NewBFS(root)
-	st, err := e.e.Run(b)
+	st, err := e.e.Run(context.Background(), b)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -156,7 +158,7 @@ func (e *Engine) BFS(root uint32) ([]int32, *Stats, error) {
 // rank vector plus run statistics.
 func (e *Engine) PageRank(iterations int) ([]float64, *Stats, error) {
 	p := algo.NewPageRank(iterations)
-	st, err := e.e.Run(p)
+	st, err := e.e.Run(context.Background(), p)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -168,7 +170,7 @@ func (e *Engine) PageRank(iterations int) ([]float64, *Stats, error) {
 func (e *Engine) PageRankUntil(epsilon float64, maxIterations int) ([]float64, *Stats, error) {
 	p := algo.NewPageRank(maxIterations)
 	p.Epsilon = epsilon
-	st, err := e.e.Run(p)
+	st, err := e.e.Run(context.Background(), p)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -179,7 +181,7 @@ func (e *Engine) PageRankUntil(epsilon float64, maxIterations int) ([]float64, *
 // smallest vertex ID of its component.
 func (e *Engine) WCC() ([]uint32, *Stats, error) {
 	w := algo.NewWCC()
-	st, err := e.e.Run(w)
+	st, err := e.e.Run(context.Background(), w)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -191,7 +193,7 @@ func (e *Engine) WCC() ([]uint32, *Stats, error) {
 // — the trade §II-B describes for semi-external engines.
 func (e *Engine) AsyncBFS(root uint32) ([]int32, *Stats, error) {
 	b := algo.NewAsyncBFS(root)
-	st, err := e.e.Run(b)
+	st, err := e.e.Run(context.Background(), b)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -203,7 +205,7 @@ func (e *Engine) AsyncBFS(root uint32) ([]int32, *Stats, error) {
 // serves every source. It returns one depth slice per root.
 func (e *Engine) MSBFS(roots []uint32) ([][]int32, *Stats, error) {
 	m := algo.NewMSBFS(roots)
-	st, err := e.e.Run(m)
+	st, err := e.e.Run(context.Background(), m)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -220,7 +222,7 @@ func (e *Engine) MSBFS(roots []uint32) ([][]int32, *Stats, error) {
 // tile tuples provide from a single stored direction.
 func (e *Engine) SCC() ([]uint32, *Stats, error) {
 	s := algo.NewSCC()
-	st, err := e.e.Run(s)
+	st, err := e.e.Run(context.Background(), s)
 	if err != nil {
 		return nil, nil, err
 	}

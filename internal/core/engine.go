@@ -1,15 +1,30 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"github.com/gwu-systems/gstore/internal/algo"
 	"github.com/gwu-systems/gstore/internal/mem"
+	"github.com/gwu-systems/gstore/internal/metrics"
 	"github.com/gwu-systems/gstore/internal/storage"
 	"github.com/gwu-systems/gstore/internal/tile"
 )
+
+// BadRequestError marks a Run failure caused by the caller's algorithm
+// arguments (an out-of-range BFS root, SCC on an undirected graph, ...)
+// rather than by the engine or its storage. Servers use it to separate
+// client errors (4xx) from engine failures (5xx).
+type BadRequestError struct {
+	Err error
+}
+
+func (e *BadRequestError) Error() string { return e.Err.Error() }
+
+// Unwrap lets errors.Is/As reach the underlying cause.
+func (e *BadRequestError) Unwrap() error { return e.Err }
 
 // Engine runs tile algorithms over an on-disk graph with the SCR
 // scheduler: it slides segment-sized batched reads over the needed tiles,
@@ -134,7 +149,20 @@ func (e *Engine) worker() {
 }
 
 // Run executes a on the graph until convergence and returns statistics.
-func (e *Engine) Run(a algo.Algorithm) (*Stats, error) {
+//
+// ctx cancels the run: it is checked between iterations and inside the
+// slide loop's completion wait, so a disconnected client or a daemon
+// shutdown stops the run within roughly one I/O completion. A canceled
+// Run returns an error wrapping ctx.Err(), releases every segment it
+// acquired, and leaves the engine reusable for the next Run.
+//
+// Errors caused by the algorithm's arguments (Init validation) are
+// wrapped in *BadRequestError; everything else is an engine or storage
+// failure.
+func (e *Engine) Run(ctx context.Context, a algo.Algorithm) (*Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var degrees tile.DegreeSource
 	if e.g.Meta.DegreeFormat != "" {
 		var err error
@@ -143,7 +171,7 @@ func (e *Engine) Run(a algo.Algorithm) (*Stats, error) {
 			return nil, err
 		}
 	}
-	ctx := &algo.Context{
+	actx := &algo.Context{
 		NumVertices: e.g.Meta.NumVertices,
 		Layout:      e.g.Layout,
 		Directed:    e.g.Meta.Directed,
@@ -151,8 +179,8 @@ func (e *Engine) Run(a algo.Algorithm) (*Stats, error) {
 		SNB:         e.g.Meta.SNB,
 		Degrees:     degrees,
 	}
-	if err := a.Init(ctx); err != nil {
-		return nil, err
+	if err := a.Init(actx); err != nil {
+		return nil, &BadRequestError{Err: err}
 	}
 	e.alg = a
 	e.mm.Clear()
@@ -167,26 +195,30 @@ func (e *Engine) Run(a algo.Algorithm) (*Stats, error) {
 	begin := time.Now()
 
 	for iter := 0; iter < e.opts.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: run canceled before iteration %d: %w", iter, err)
+		}
 		a.BeforeIteration(iter)
 		before := *stats
 		beforeIO := e.array.Stats()
-		if err := e.runIteration(a, stats); err != nil {
+		if err := e.runIteration(ctx, a, stats); err != nil {
 			return nil, err
 		}
 		stats.Iterations = iter + 1
 		done := a.AfterIteration(iter)
 		if e.opts.Trace != nil {
 			afterIO := e.array.Stats()
-			fmt.Fprintf(e.opts.Trace,
-				"%s iter=%d tiles=%d cached=%d skipped=%d read=%dB iowait=%v compute=%v pool=%d/%dB\n",
-				a.Name(), iter,
-				stats.TilesProcessed-before.TilesProcessed,
-				stats.TilesFromCache-before.TilesFromCache,
-				stats.TilesSkipped-before.TilesSkipped,
-				afterIO.BytesRead-beforeIO.BytesRead,
-				(stats.IOWait - before.IOWait).Round(time.Microsecond),
-				(stats.Compute - before.Compute).Round(time.Microsecond),
-				e.mm.PoolUsed(), e.mm.PoolCap())
+			metrics.WriteEvent(e.opts.Trace, "iteration",
+				metrics.KV{Key: "algo", Value: a.Name()},
+				metrics.KV{Key: "iter", Value: iter},
+				metrics.KV{Key: "tiles", Value: stats.TilesProcessed - before.TilesProcessed},
+				metrics.KV{Key: "cached", Value: stats.TilesFromCache - before.TilesFromCache},
+				metrics.KV{Key: "skipped", Value: stats.TilesSkipped - before.TilesSkipped},
+				metrics.KV{Key: "read_bytes", Value: afterIO.BytesRead - beforeIO.BytesRead},
+				metrics.KV{Key: "iowait", Value: (stats.IOWait - before.IOWait).Round(time.Microsecond)},
+				metrics.KV{Key: "compute", Value: (stats.Compute - before.Compute).Round(time.Microsecond)},
+				metrics.KV{Key: "pool_used", Value: e.mm.PoolUsed()},
+				metrics.KV{Key: "pool_cap", Value: e.mm.PoolCap()})
 		}
 		if done {
 			break
@@ -208,7 +240,7 @@ func (e *Engine) Run(a algo.Algorithm) (*Stats, error) {
 
 // runIteration performs one SCR iteration: selective-fetch planning,
 // rewind over the cache pool, then the slide over the remaining tiles.
-func (e *Engine) runIteration(a algo.Algorithm, stats *Stats) error {
+func (e *Engine) runIteration(ctx context.Context, a algo.Algorithm, stats *Stats) error {
 	layout := e.g.Layout
 	needed := make([]int, 0, layout.NumTiles())
 	for i := 0; i < layout.NumTiles(); i++ {
@@ -248,7 +280,7 @@ func (e *Engine) runIteration(a algo.Algorithm, stats *Stats) error {
 			toFetch = append(toFetch, di)
 		}
 	}
-	return e.slide(a, toFetch, stats)
+	return e.slide(ctx, a, toFetch, stats)
 }
 
 func containsSorted(sorted []int, x int) bool {
@@ -334,7 +366,11 @@ func (e *Engine) planSegments(toFetch []int) []*segmentPlan {
 // releases every acquired segment, so a failed Run leaves the engine
 // reusable: the next Run starts with both streaming buffers free and an
 // empty completion stream.
-func (e *Engine) slide(a algo.Algorithm, toFetch []int, stats *Stats) error {
+//
+// Cancellation: ctx is polled before every completion wait, so a cancel
+// takes effect within one I/O completion; the teardown path then drains
+// and releases exactly as for an I/O error.
+func (e *Engine) slide(ctx context.Context, a algo.Algorithm, toFetch []int, stats *Stats) error {
 	plans := e.planSegments(toFetch)
 	if len(plans) == 0 {
 		return nil
@@ -387,7 +423,7 @@ func (e *Engine) slide(a algo.Algorithm, toFetch []int, stats *Stats) error {
 			ws := time.Now()
 			defer func() { stats.IOWait += time.Since(ws) }()
 			for _, r := range p.runs {
-				if err := e.readSyncRetry(r, s, stats); err != nil {
+				if err := e.readSyncRetry(ctx, r, s, stats); err != nil {
 					return err
 				}
 			}
@@ -456,6 +492,10 @@ func (e *Engine) slide(a algo.Algorithm, toFetch []int, stats *Stats) error {
 		fl := queue[head]
 		ws := time.Now()
 		for fl.left > 0 {
+			if err := ctx.Err(); err != nil {
+				stats.IOWait += time.Since(ws)
+				return fail(head, fmt.Errorf("core: run canceled: %w", err))
+			}
 			comps = e.array.Wait(1, comps[:0])
 			if len(comps) == 0 {
 				stats.IOWait += time.Since(ws)
@@ -509,9 +549,13 @@ func (e *Engine) slide(a algo.Algorithm, toFetch []int, stats *Stats) error {
 }
 
 // readSyncRetry performs one synchronous run read with the same
-// retry/backoff policy the async path uses.
-func (e *Engine) readSyncRetry(r run, s *mem.Segment, stats *Stats) error {
+// retry/backoff policy the async path uses, polling ctx between
+// attempts.
+func (e *Engine) readSyncRetry(ctx context.Context, r run, s *mem.Segment, stats *Stats) error {
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: run canceled: %w", err)
+		}
 		err := e.array.ReadSync(r.fileOff, s.Buf[r.bufOff:r.bufOff+r.n])
 		if err == nil {
 			return nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"os"
 	"testing"
@@ -105,7 +106,7 @@ func TestEngineFaultRetriesExhaustedThenRecovers(t *testing.T) {
 
 	// Two failed runs in a row: the engine must stay usable between them.
 	for round := 0; round < 2; round++ {
-		if _, err := e.Run(algo.NewBFS(0)); !errors.Is(err, storage.ErrInjected) {
+		if _, err := e.Run(context.Background(), algo.NewBFS(0)); !errors.Is(err, storage.ErrInjected) {
 			t.Fatalf("round %d: Run error = %v, want wrapped ErrInjected", round, err)
 		}
 		checkNoLeakedSegments(t, e)
@@ -119,7 +120,7 @@ func TestEngineFaultRetriesExhaustedThenRecovers(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := algo.NewBFS(0)
-	st, err := e.Run(b)
+	st, err := e.Run(context.Background(), b)
 	if err != nil {
 		t.Fatalf("fault-free Run after failed Run: %v", err)
 	}
@@ -155,7 +156,7 @@ func TestEngineRunTwiceAfterForcedIOError(t *testing.T) {
 	if err := os.Truncate(tilesPath, 16); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Run(algo.NewBFS(0)); err == nil {
+	if _, err := e.Run(context.Background(), algo.NewBFS(0)); err == nil {
 		t.Fatal("engine ignored read failure")
 	}
 	checkNoLeakedSegments(t, e)
@@ -166,7 +167,7 @@ func TestEngineRunTwiceAfterForcedIOError(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := algo.NewBFS(0)
-	if _, err := e.Run(b); err != nil {
+	if _, err := e.Run(context.Background(), b); err != nil {
 		t.Fatalf("second Run after restored file: %v", err)
 	}
 	want := graph.RefBFS(graph.NewCSR(el, false), 0)
@@ -188,7 +189,7 @@ func TestEngineFaultNoRetries(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer e.Close()
-	if _, err := e.Run(algo.NewBFS(0)); err == nil {
+	if _, err := e.Run(context.Background(), algo.NewBFS(0)); err == nil {
 		t.Fatal("Run succeeded despite unretried faults")
 	}
 	checkNoLeakedSegments(t, e)
@@ -197,7 +198,7 @@ func TestEngineFaultNoRetries(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := e.Run(algo.NewBFS(0)); err != nil {
+	if _, err := e.Run(context.Background(), algo.NewBFS(0)); err != nil {
 		t.Fatalf("engine not reusable after unretried fault: %v", err)
 	}
 }

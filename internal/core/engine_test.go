@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"os"
 	"testing"
@@ -39,7 +40,7 @@ func runAlg(t *testing.T, g *tile.Graph, opts Options, a algo.Algorithm) *Stats 
 		t.Fatal(err)
 	}
 	defer e.Close()
-	st, err := e.Run(a)
+	st, err := e.Run(context.Background(), a)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +251,7 @@ func TestEngineReadFailure(t *testing.T) {
 	if err := os.Truncate(g.BasePath()+".tiles", 16); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Run(algo.NewBFS(0)); err == nil {
+	if _, err := e.Run(context.Background(), algo.NewBFS(0)); err == nil {
 		t.Fatal("engine ignored read failure")
 	}
 }
@@ -328,7 +329,7 @@ func TestEngineReuse(t *testing.T) {
 	wantD := graph.RefBFS(graph.NewCSR(el, false), 0)
 	for round := 0; round < 3; round++ {
 		b := algo.NewBFS(0)
-		if _, err := e.Run(b); err != nil {
+		if _, err := e.Run(context.Background(), b); err != nil {
 			t.Fatal(err)
 		}
 		for v, d := range b.Depths() {
@@ -338,7 +339,7 @@ func TestEngineReuse(t *testing.T) {
 		}
 	}
 	w := algo.NewWCC()
-	if _, err := e.Run(w); err != nil {
+	if _, err := e.Run(context.Background(), w); err != nil {
 		t.Fatal(err)
 	}
 	wantL := graph.RefWCC(el)

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"github.com/gwu-systems/gstore/internal/metrics"
+)
+
+// RunSecondsBuckets are the histogram bounds for whole-run latency:
+// engine runs range from sub-millisecond (all-cached reruns) to minutes
+// (semi-external scans), wider than HTTP-level defaults.
+var RunSecondsBuckets = []float64{
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 300,
+}
+
+// PublishStats mirrors one run's statistics into registry r under the
+// given graph label. Per-run deltas (iterations, tiles, bytes read,
+// retries) accumulate across runs; the engine's cumulative storage and
+// memory-manager counters are republished as they stand, so a scrape of
+// a live server always sees the engine's lifetime totals. Safe to call
+// from concurrent runs on different graphs.
+func PublishStats(r *metrics.Registry, graph string, st *Stats) {
+	if r == nil || st == nil {
+		return
+	}
+	g := metrics.L("graph", graph)
+
+	// Per-run deltas, accumulated across runs.
+	r.Counter("gstore_engine_iterations_total",
+		"Algorithm iterations executed.", g).Add(int64(st.Iterations))
+	r.Counter("gstore_engine_tiles_processed_total",
+		"Tiles handed to workers.", g).Add(st.TilesProcessed)
+	r.Counter("gstore_engine_tiles_from_cache_total",
+		"Tiles served by the rewind from the cache pool.", g).Add(st.TilesFromCache)
+	r.Counter("gstore_engine_tiles_skipped_total",
+		"Tiles skipped by selective fetching.", g).Add(st.TilesSkipped)
+	r.Counter("gstore_engine_bytes_read_total",
+		"Bytes read from storage by runs.", g).Add(st.BytesRead)
+	r.Counter("gstore_engine_io_requests_total",
+		"Storage read requests issued by runs.", g).Add(st.IORequests)
+	r.Counter("gstore_engine_io_failures_total",
+		"Failed or short read attempts observed.", g).Add(st.IOFailures)
+	r.Counter("gstore_engine_io_retries_total",
+		"Read requests re-submitted after a failure.", g).Add(st.Retries)
+	r.Counter("gstore_engine_iowait_microseconds_total",
+		"Microseconds the scheduler blocked on completions.", g).
+		Add(st.IOWait.Microseconds())
+	r.Counter("gstore_engine_compute_microseconds_total",
+		"Microseconds spent processing tiles.", g).
+		Add(st.Compute.Microseconds())
+
+	// Injected-fault counters (per-run deltas; zero without a FaultDevice).
+	r.Counter("gstore_engine_faults_injected_errors_total",
+		"Injected read errors observed.", g).Add(st.Faults.Errors)
+	r.Counter("gstore_engine_faults_injected_shorts_total",
+		"Injected short reads observed.", g).Add(st.Faults.Shorts)
+
+	// Engine-lifetime cumulative counters, republished after every run.
+	r.Counter("gstore_storage_bytes_read_total",
+		"Cumulative bytes read by the graph's storage array.", g).
+		Set(st.Storage.BytesRead)
+	r.Counter("gstore_storage_requests_total",
+		"Cumulative requests served by the graph's storage array.", g).
+		Set(st.Storage.Requests)
+	r.Counter("gstore_mem_copied_bytes_total",
+		"Bytes copied into the cache pool since engine start.", g).
+		Set(st.Mem.CopiedBytes)
+	r.Counter("gstore_mem_evicted_tiles_total",
+		"Tiles evicted by pool compactions since engine start.", g).
+		Set(st.Mem.EvictedTiles)
+	r.Counter("gstore_mem_dropped_tiles_total",
+		"Tiles dropped for lack of pool space since engine start.", g).
+		Set(st.Mem.DroppedTiles)
+	r.Counter("gstore_mem_compactions_total",
+		"Pool compactions since engine start.", g).
+		Set(st.Mem.Compactions)
+
+	r.Histogram("gstore_engine_run_seconds",
+		"Whole-run latency by graph.", RunSecondsBuckets, g).
+		Observe(st.Elapsed.Seconds())
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -180,8 +181,14 @@ func TestEngineTrace(t *testing.T) {
 	opts.Trace = &buf
 	runAlg(t, g, opts, algo.NewBFS(0))
 	out := buf.String()
-	if !strings.Contains(out, "bfs iter=0") || !strings.Contains(out, "pool=") {
-		t.Fatalf("trace output missing fields:\n%s", out)
+	// Trace lines are structured key=value events now.
+	for _, want := range []string{
+		"event=iteration", "algo=bfs", "iter=0",
+		"read_bytes=", "iowait=", "compute=", "pool_used=", "pool_cap=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace output missing %q:\n%s", want, out)
+		}
 	}
 	if lines := strings.Count(out, "\n"); lines < 2 {
 		t.Fatalf("only %d trace lines", lines)
@@ -209,7 +216,7 @@ func TestQuickEngineOptionMatrix(t *testing.T) {
 		}
 		defer e.Close()
 		b := algo.NewBFS(0)
-		if _, err := e.Run(b); err != nil {
+		if _, err := e.Run(context.Background(), b); err != nil {
 			return false
 		}
 		for v, d := range b.Depths() {

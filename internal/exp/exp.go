@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -279,7 +280,7 @@ func runEngine(tg *tile.Graph, opts core.Options, a algo.Algorithm) (*core.Stats
 		return nil, err
 	}
 	defer e.Close()
-	return e.Run(a)
+	return e.Run(context.Background(), a)
 }
 
 // percentile returns the p-quantile (0..1) of sorted values.

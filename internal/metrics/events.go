@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// KV is one field of a structured event.
+type KV struct {
+	Key   string
+	Value interface{}
+}
+
+// WriteEvent writes one structured line to w:
+//
+//	event=<name> key=value key=value ...\n
+//
+// Values render compactly: durations with time.Duration formatting,
+// integers in decimal, strings quoted only when they contain whitespace
+// or '='. A nil writer is a no-op, so callers can emit unconditionally.
+// Each call writes the line with a single Write so concurrent emitters
+// never interleave mid-line.
+func WriteEvent(w io.Writer, event string, kvs ...KV) {
+	if w == nil {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("event=")
+	b.WriteString(event)
+	for _, kv := range kvs {
+		b.WriteByte(' ')
+		b.WriteString(kv.Key)
+		b.WriteByte('=')
+		b.WriteString(formatValue(kv.Value))
+	}
+	b.WriteByte('\n')
+	_, _ = io.WriteString(w, b.String())
+}
+
+func formatValue(v interface{}) string {
+	switch t := v.(type) {
+	case time.Duration:
+		return t.String()
+	case string:
+		if strings.ContainsAny(t, " \t=\"\n") {
+			return strconv.Quote(t)
+		}
+		if t == "" {
+			return `""`
+		}
+		return t
+	case int:
+		return strconv.Itoa(t)
+	case int64:
+		return strconv.FormatInt(t, 10)
+	case uint32:
+		return strconv.FormatUint(uint64(t), 10)
+	case float64:
+		return strconv.FormatFloat(t, 'g', -1, 64)
+	case bool:
+		return strconv.FormatBool(t)
+	default:
+		s := fmt.Sprint(v)
+		if strings.ContainsAny(s, " \t=\"\n") {
+			return strconv.Quote(s)
+		}
+		return s
+	}
+}

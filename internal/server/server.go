@@ -6,6 +6,7 @@
 // Endpoints:
 //
 //	GET  /healthz                     — liveness
+//	GET  /metrics                     — Prometheus text exposition
 //	GET  /graphs                      — list loaded graphs
 //	GET  /graphs/{name}               — one graph's metadata
 //	POST /graphs/{name}/bfs           — {"root":0,"async":false}
@@ -13,20 +14,32 @@
 //	POST /graphs/{name}/pagerank      — {"iterations":10,"top":10}
 //	POST /graphs/{name}/wcc           — {}
 //	POST /graphs/{name}/scc           — {} (directed graphs only)
+//
+// Every request passes through instrumentation middleware that records
+// method/graph/op/status counters, a latency histogram, and an in-flight
+// gauge into the server's metrics.Registry. Engine runs honor the
+// request context, so a disconnected client cancels its run. Run errors
+// are classified: invalid request parameters are 400s, canceled runs are
+// 503s, and engine/storage failures are 500s.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"github.com/gwu-systems/gstore/internal/algo"
 	"github.com/gwu-systems/gstore/internal/core"
+	"github.com/gwu-systems/gstore/internal/metrics"
 	"github.com/gwu-systems/gstore/internal/tile"
 )
 
@@ -43,16 +56,46 @@ type GraphHandle struct {
 type Server struct {
 	mu     sync.RWMutex
 	graphs map[string]*GraphHandle
+	reg    *metrics.Registry
 }
 
 // New creates an empty server.
 func New() *Server {
-	return &Server{graphs: make(map[string]*GraphHandle)}
+	return &Server{
+		graphs: make(map[string]*GraphHandle),
+		reg:    metrics.NewRegistry(),
+	}
+}
+
+// Metrics returns the server's registry, so daemons can publish their
+// own series (build info, uptime) alongside the request metrics.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// validGraphName reports whether name is servable: non-empty, at most
+// 128 bytes, and restricted to [A-Za-z0-9._-] so it round-trips through
+// one URL path segment without escaping ambiguity ('/' or '%' in a name
+// would be mis-routed by the path split).
+func validGraphName(name string) bool {
+	if name == "" || len(name) > 128 || name == "." || name == ".." {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '-' || r == '_' || r == '.':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // AddGraph opens the graph at basePath and serves it under name. opts
 // configures its engine.
 func (s *Server) AddGraph(name, basePath string, opts core.Options) error {
+	if !validGraphName(name) {
+		return fmt.Errorf("server: invalid graph name %q (need [A-Za-z0-9._-], ≤128 bytes)", name)
+	}
 	g, err := tile.Open(basePath)
 	if err != nil {
 		return err
@@ -84,15 +127,114 @@ func (s *Server) Close() {
 	s.graphs = map[string]*GraphHandle{}
 }
 
-// Handler returns the HTTP handler.
+// Handler returns the HTTP handler with instrumentation middleware
+// applied.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.Handle("/metrics", s.reg.Handler())
 	mux.HandleFunc("/graphs", s.handleList)
 	mux.HandleFunc("/graphs/", s.handleGraph)
-	return mux
+	return s.instrument(mux)
+}
+
+// ops are the algorithm path segments; anything else is labeled "other"
+// to keep metric cardinality bounded.
+var ops = map[string]bool{
+	"bfs": true, "khop": true, "msbfs": true,
+	"pagerank": true, "wcc": true, "scc": true,
+}
+
+// routeLabels derives bounded-cardinality graph/op labels from a request
+// path. Unknown graphs and ops collapse into "unknown"/"other".
+func (s *Server) routeLabels(path string) (graph, op string) {
+	switch {
+	case path == "/healthz":
+		return "", "healthz"
+	case path == "/metrics":
+		return "", "metrics"
+	case path == "/graphs":
+		return "", "list"
+	case strings.HasPrefix(path, "/graphs/"):
+		name, opSeg, _ := splitGraphPath(path)
+		if s.lookup(name) != nil {
+			graph = name
+		} else {
+			graph = "unknown"
+		}
+		switch {
+		case opSeg == "":
+			op = "info"
+		case ops[opSeg]:
+			op = opSeg
+		default:
+			op = "other"
+		}
+		return graph, op
+	default:
+		return "", "other"
+	}
+}
+
+// statusRecorder captures the status code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps next with per-request metrics: an in-flight gauge,
+// a request counter by method/graph/op/status, and a latency histogram
+// by op.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inflight := s.reg.Gauge("gstore_http_requests_in_flight",
+			"Requests currently being served.")
+		inflight.Add(1)
+		defer inflight.Add(-1)
+
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+
+		graph, op := s.routeLabels(r.URL.EscapedPath())
+		s.reg.Counter("gstore_http_requests_total",
+			"HTTP requests by method, graph, operation and status.",
+			metrics.L("method", r.Method),
+			metrics.L("graph", graph),
+			metrics.L("op", op),
+			metrics.L("status", strconv.Itoa(rec.code))).Inc()
+		s.reg.Histogram("gstore_http_request_duration_seconds",
+			"Request latency by operation.", metrics.DefBuckets,
+			metrics.L("op", op)).Observe(time.Since(start).Seconds())
+	})
+}
+
+// splitGraphPath splits an escaped "/graphs/…" path into its decoded
+// graph name and operation segment. A name whose decoded form contains
+// '/' (an escaped %2F) can never match a served graph, because AddGraph
+// rejects such names — so escape tricks fall through to 404 instead of
+// being mis-routed.
+func splitGraphPath(escapedPath string) (name, op string, err error) {
+	rest := strings.TrimPrefix(escapedPath, "/graphs/")
+	parts := strings.SplitN(rest, "/", 2)
+	name, err = url.PathUnescape(parts[0])
+	if err != nil {
+		return "", "", fmt.Errorf("bad graph name escape: %v", err)
+	}
+	if len(parts) == 2 {
+		op, err = url.PathUnescape(parts[1])
+		if err != nil {
+			return "", "", fmt.Errorf("bad operation escape: %v", err)
+		}
+	}
+	return name, op, nil
 }
 
 func (s *Server) lookup(name string) *GraphHandle {
@@ -133,29 +275,37 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	// Snapshot the handles in one critical section: resolving each name
+	// with a second lookup would race with Close and hand info a nil
+	// handle.
 	s.mu.RLock()
-	names := make([]string, 0, len(s.graphs))
-	for n := range s.graphs {
-		names = append(names, n)
+	handles := make([]*GraphHandle, 0, len(s.graphs))
+	for _, h := range s.graphs {
+		handles = append(handles, h)
 	}
 	s.mu.RUnlock()
-	sort.Strings(names)
-	out := make([]graphInfo, 0, len(names))
-	for _, n := range names {
-		out = append(out, info(s.lookup(n)))
+	sort.Slice(handles, func(i, j int) bool { return handles[i].Name < handles[j].Name })
+	out := make([]graphInfo, 0, len(handles))
+	for _, h := range handles {
+		out = append(out, info(h))
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
-	rest := strings.TrimPrefix(r.URL.Path, "/graphs/")
-	parts := strings.SplitN(rest, "/", 2)
-	h := s.lookup(parts[0])
-	if h == nil {
-		writeError(w, http.StatusNotFound, "unknown graph %q", parts[0])
+	// Split on the escaped path so a %2F inside a segment stays inside
+	// that segment instead of shifting the route.
+	name, op, err := splitGraphPath(r.URL.EscapedPath())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if len(parts) == 1 || parts[1] == "" {
+	h := s.lookup(name)
+	if h == nil {
+		writeError(w, http.StatusNotFound, "unknown graph %q", name)
+		return
+	}
+	if op == "" {
 		if r.Method != http.MethodGet {
 			writeError(w, http.StatusMethodNotAllowed, "GET only")
 			return
@@ -167,7 +317,7 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	switch parts[1] {
+	switch op {
 	case "bfs":
 		s.handleBFS(w, r, h)
 	case "khop":
@@ -181,7 +331,7 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	case "scc":
 		s.handleComponents(w, r, h, true)
 	default:
-		writeError(w, http.StatusNotFound, "unknown operation %q", parts[1])
+		writeError(w, http.StatusNotFound, "unknown operation %q", op)
 	}
 }
 
@@ -201,11 +351,48 @@ func toStats(st *core.Stats) runStats {
 	}
 }
 
-// run serializes algorithm execution on one graph.
-func (h *GraphHandle) run(a algo.Algorithm) (*core.Stats, error) {
+// run serializes algorithm execution on one graph, publishes the run's
+// engine/storage/mem counters, and honors the request context: a client
+// that disconnects mid-run cancels it.
+func (s *Server) run(ctx context.Context, h *GraphHandle, a algo.Algorithm) (*core.Stats, error) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.engine.Run(a)
+	st, err := h.engine.Run(ctx, a)
+	h.mu.Unlock()
+
+	status := "ok"
+	switch {
+	case err == nil:
+	case errors.As(err, new(*core.BadRequestError)):
+		status = "bad_request"
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		status = "canceled"
+	default:
+		status = "error"
+	}
+	s.reg.Counter("gstore_engine_runs_total",
+		"Engine runs by graph, algorithm and outcome.",
+		metrics.L("graph", h.Name),
+		metrics.L("algo", a.Name()),
+		metrics.L("status", status)).Inc()
+	if st != nil {
+		core.PublishStats(s.reg, h.Name, st)
+	}
+	return st, err
+}
+
+// writeRunError maps a Run error onto the right status class: request
+// errors are the client's fault (400), canceled runs mean the server is
+// going away or the client already left (503), and anything else is an
+// engine/storage failure (500).
+func writeRunError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.As(err, new(*core.BadRequestError)):
+		writeError(w, http.StatusBadRequest, "%v", err)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, "run canceled: %v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "engine failure: %v", err)
+	}
 }
 
 func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request, h *GraphHandle) {
@@ -221,19 +408,19 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request, h *GraphHandl
 	var err error
 	if req.Async {
 		a := algo.NewAsyncBFS(req.Root)
-		st, err = h.run(a)
+		st, err = s.run(r.Context(), h, a)
 		if err == nil {
 			depths = a.Depths()
 		}
 	} else {
 		a := algo.NewBFS(req.Root)
-		st, err = h.run(a)
+		st, err = s.run(r.Context(), h, a)
 		if err == nil {
 			depths = a.Depths()
 		}
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeRunError(w, err)
 		return
 	}
 	reached := 0
@@ -266,9 +453,9 @@ func (s *Server) handleKHop(w http.ResponseWriter, r *http.Request, h *GraphHand
 		req.K = 2
 	}
 	a := algo.NewBFS(req.Root)
-	st, err := h.run(a)
+	st, err := s.run(r.Context(), h, a)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeRunError(w, err)
 		return
 	}
 	rings := make([]int, req.K+1)
@@ -303,9 +490,9 @@ func (s *Server) handleMSBFS(w http.ResponseWriter, r *http.Request, h *GraphHan
 		return
 	}
 	a := algo.NewMSBFS(req.Roots)
-	st, err := h.run(a)
+	st, err := s.run(r.Context(), h, a)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeRunError(w, err)
 		return
 	}
 	out := make([]map[string]interface{}, len(req.Roots))
@@ -338,9 +525,9 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request, h *Graph
 		req.Top = 10
 	}
 	a := algo.NewPageRank(req.Iterations)
-	st, err := h.run(a)
+	st, err := s.run(r.Context(), h, a)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeRunError(w, err)
 		return
 	}
 	type vr struct {
@@ -371,19 +558,19 @@ func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request, h *Gra
 	var err error
 	if strong {
 		a := algo.NewSCC()
-		st, err = h.run(a)
+		st, err = s.run(r.Context(), h, a)
 		if err == nil {
 			labels = a.Labels()
 		}
 	} else {
 		a := algo.NewWCC()
-		st, err = h.run(a)
+		st, err = s.run(r.Context(), h, a)
 		if err == nil {
 			labels = a.Labels()
 		}
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeRunError(w, err)
 		return
 	}
 	sizes := map[uint32]int{}

@@ -12,10 +12,13 @@ package gstore_test
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/gwu-systems/gstore/internal/algo"
 	"github.com/gwu-systems/gstore/internal/core"
@@ -210,6 +213,93 @@ func BenchmarkEngineBFS(b *testing.B) {
 		if _, err := e.Run(context.Background(), algo.NewBFS(0)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// chunkBenchGraph builds (and caches on disk) the scale-20 RMAT workload
+// used by BenchmarkProcessChunked. GSTORE_BENCH_SCALE overrides the scale
+// for quick local runs on small machines.
+func chunkBenchGraph(b *testing.B) *tile.Graph {
+	b.Helper()
+	scale := uint(20)
+	if s := os.Getenv("GSTORE_BENCH_SCALE"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 8)
+		if err != nil || v < 8 {
+			b.Fatalf("bad GSTORE_BENCH_SCALE=%q", s)
+		}
+		scale = uint(v)
+	}
+	name := fmt.Sprintf("chunkbench-%d", scale)
+	base := tile.BasePath(benchWorkDir(b), name)
+	if g, err := tile.Open(base); err == nil {
+		return g
+	}
+	el, err := gen.Generate(gen.Graph500Config(scale, 16, 9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// P = 16 tiles per side: a few large, skewed tiles, the regime where
+	// per-tile dispatch starves workers and chunking pays.
+	g, err := tile.Convert(el, benchWorkDir(b), name, tile.ConvertOptions{
+		TileBits: scale - 4, GroupQ: 8, Symmetry: true, SNB: true, Degrees: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkProcessChunked compares per-tile dispatch against chunked
+// dispatch on a fully cached scale-20 RMAT graph at 8 workers, so the
+// measurement is compute, not I/O. Each op is one PageRank iteration.
+// Reported extras: compute_s/op (the busiest worker's kernel time, i.e.
+// the critical path) and the max/mean imbalance of the final run.
+func BenchmarkProcessChunked(b *testing.B) {
+	g := chunkBenchGraph(b)
+	defer g.Close()
+	for _, bc := range []struct {
+		name  string
+		chunk int64
+	}{
+		{"per-tile", core.ChunkDisabled},
+		{"chunked", 0}, // DefaultChunkBytes
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Threads = 8
+			opts.ChunkBytes = bc.chunk
+			// Everything fits in the cache pool after the warm-up run.
+			opts.MemoryBytes = g.DataBytes()*2 + (8 << 20)
+			opts.SegmentSize = opts.MemoryBytes / 8
+			e, err := core.NewEngine(g, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			if _, err := e.Run(context.Background(), algo.NewPageRank(1)); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(g.DataBytes())
+			b.ResetTimer()
+			var critical time.Duration
+			var imbalance float64
+			for i := 0; i < b.N; i++ {
+				st, err := e.Run(context.Background(), algo.NewPageRank(1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var busiest time.Duration
+				for _, d := range st.WorkerBusy {
+					if d > busiest {
+						busiest = d
+					}
+				}
+				critical += busiest
+				imbalance = st.Imbalance
+			}
+			b.ReportMetric(critical.Seconds()/float64(b.N), "compute_s/op")
+			b.ReportMetric(imbalance, "imbalance")
+		})
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -27,10 +28,27 @@ func main() {
 		edgeFactor = flag.Int("edgefactor", 0, "edges per vertex (default 16)")
 		seed       = flag.Uint64("seed", 0, "generator seed")
 		threads    = flag.Int("threads", 0, "worker threads (default GOMAXPROCS)")
+		sweep      = flag.String("sweep", "", "comma-separated thread counts for the sweep experiment, e.g. 1,2,4,8")
 		workDir    = flag.String("workdir", "", "directory for generated graphs (default under TMPDIR)")
 		quick      = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	)
 	flag.Parse()
+
+	var threadList []int
+	if *sweep != "" {
+		for _, s := range strings.Split(*sweep, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "gsbench: bad -sweep entry %q\n", s)
+				os.Exit(2)
+			}
+			threadList = append(threadList, n)
+		}
+		// -sweep alone implies running the sweep experiment.
+		if *run == "" {
+			*run = "sweep"
+		}
+	}
 
 	if *list || *run == "" {
 		fmt.Println("experiments:")
@@ -52,6 +70,7 @@ func main() {
 		Out:        os.Stdout,
 		Quick:      *quick,
 	}
+	cfg.ThreadList = threadList
 	cfg.Defaults()
 
 	var ids []string

@@ -180,6 +180,7 @@ func engineFlags(fs *flag.FlagSet) func() core.Options {
 	mem := fs.Int64("memory", 0, "streaming+caching memory in bytes (default graph/4)")
 	seg := fs.Int64("segment", 0, "segment size in bytes (default memory/8)")
 	threads := fs.Int("threads", 0, "worker threads")
+	chunk := fs.Int64("chunk", 0, "work-item chunk size in bytes (0 = 256KiB default, -1 = whole tiles)")
 	disks := fs.Int("disks", 8, "simulated SSD count")
 	bw := fs.Float64("bandwidth", 0, "per-disk bandwidth in bytes/s (0 = unthrottled)")
 	policy := fs.String("cache", "proactive", "cache policy: proactive, lru, none")
@@ -204,6 +205,7 @@ func engineFlags(fs *flag.FlagSet) func() core.Options {
 		if *threads > 0 {
 			o.Threads = *threads
 		}
+		o.ChunkBytes = *chunk
 		o.Disks = *disks
 		o.Bandwidth = *bw
 		o.SyncIO = *sync

@@ -48,6 +48,7 @@ func main() {
 	mem := flag.Int64("memory", 64<<20, "per-graph streaming+caching memory in bytes")
 	seg := flag.Int64("segment", 0, "segment size in bytes (default memory/8)")
 	threads := flag.Int("threads", 0, "worker threads per graph")
+	chunk := flag.Int64("chunk", 0, "work-item chunk size in bytes (0 = 256KiB default, -1 = whole tiles)")
 	disks := flag.Int("disks", 8, "simulated SSD count")
 	bw := flag.Float64("bandwidth", 0, "per-disk bandwidth in bytes/s (0 = unthrottled)")
 	pprofOn := flag.Bool("pprof", true, "serve net/http/pprof under /debug/pprof/")
@@ -86,6 +87,7 @@ func main() {
 		if *threads > 0 {
 			opts.Threads = *threads
 		}
+		opts.ChunkBytes = *chunk
 		opts.Disks = *disks
 		opts.Bandwidth = *bw
 		if err := srv.AddGraph(name, path, opts); err != nil {

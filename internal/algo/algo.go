@@ -26,6 +26,11 @@ type Context struct {
 	// Degrees supplies vertex degrees; nil unless the graph was converted
 	// with degree output. PageRank requires it.
 	Degrees tile.DegreeSource
+	// Workers is the number of engine worker goroutines that will call
+	// ProcessTileChunk, each with a stable ID in [0, Workers). Kernels
+	// implementing ChunkedAlgorithm size their per-worker state from it.
+	// Zero means the caller only uses ProcessTile (in-memory mode, tests).
+	Workers int
 }
 
 func (c *Context) validate() error {
@@ -66,6 +71,28 @@ type Algorithm interface {
 	// MetadataBytes reports the memory the algorithm's metadata occupies
 	// (the paper's Table III memory accounting).
 	MetadataBytes() int64
+}
+
+// ChunkedAlgorithm is the optional contention-free extension of
+// Algorithm. Engines that partition tiles into tuple-aligned chunks call
+// ProcessTileChunk instead of ProcessTile, handing every call a stable
+// worker ID so the kernel can accumulate into per-worker state (FlashGraph
+// per-thread partitioning; BigSparse merge-reduce) and batch shared-metadata
+// updates per chunk instead of per edge.
+//
+// Contract: a chunk is a whole number of tuples from a single tile
+// (row, col); the union of a tile's chunks is exactly its data; chunks of
+// one tile may be processed concurrently by different workers. Two calls
+// with the same worker ID never run concurrently. Reduction of per-worker
+// state happens in AfterIteration, after every chunk of the iteration is
+// done.
+type ChunkedAlgorithm interface {
+	Algorithm
+	// ProcessTileChunk consumes one tuple-aligned slice of tile
+	// (row, col)'s data on behalf of worker (0 <= worker <
+	// Context.Workers). Safe for concurrent invocation with distinct
+	// worker IDs, including on chunks of the same tile.
+	ProcessTileChunk(worker int, row, col uint32, data []byte)
 }
 
 // decodeLoop iterates tuples of a tile without a closure per edge.

@@ -99,6 +99,59 @@ func (b *BFS) ProcessTile(row, col uint32, data []byte) {
 	}
 }
 
+// ProcessTileChunk implements ChunkedAlgorithm. The depth CAS must stay
+// atomic (chunks of one tile race on shared vertices), but the frontier
+// bitmap and the per-row counters are pure bookkeeping: a chunk touches
+// only its tile's row and column ranges, so discoveries are counted in
+// two stack-local accumulators and flushed with at most three atomic
+// operations per chunk instead of three per discovered vertex.
+func (b *BFS) ProcessTileChunk(_ int, row, col uint32, data []byte) {
+	level := b.level
+	depth := b.depth
+	var fwd, rev int64 // discoveries in the col and row ranges
+	if b.ctx.SNB {
+		rb, _ := b.ctx.Layout.VertexRange(row)
+		cb, _ := b.ctx.Layout.VertexRange(col)
+		for i := 0; i+tile.SNBTupleBytes <= len(data); i += tile.SNBTupleBytes {
+			so, do := tile.GetSNB(data[i:])
+			b.visitBatched(rb+uint32(so), cb+uint32(do), level, depth, &fwd, &rev)
+		}
+	} else {
+		for i := 0; i+tile.RawTupleBytes <= len(data); i += tile.RawTupleBytes {
+			s, d := tile.GetRaw(data[i:])
+			b.visitBatched(s, d, level, depth, &fwd, &rev)
+		}
+	}
+	if fwd > 0 {
+		b.nextRow.Set(col)
+		b.rowUnvisited[col].Add(-fwd)
+	}
+	if rev > 0 {
+		b.nextRow.Set(row)
+		b.rowUnvisited[row].Add(-rev)
+	}
+	if fwd+rev > 0 {
+		b.added.Add(fwd + rev)
+	}
+}
+
+// visitBatched is visit with the bookkeeping deferred to the caller's
+// per-chunk accumulators; only the depth transition itself is atomic.
+func (b *BFS) visitBatched(s, d uint32, level int32, depth []int32, fwd, rev *int64) {
+	if atomic.LoadInt32(&depth[s]) == level && atomic.LoadInt32(&depth[d]) == -1 {
+		if atomicCASInt32(&depth[d], -1, level+1) {
+			*fwd++
+		}
+	}
+	if b.ctx.Half {
+		if atomic.LoadInt32(&depth[d]) == level && atomic.LoadInt32(&depth[s]) == -1 {
+			if atomicCASInt32(&depth[s], -1, level+1) {
+				*rev++
+			}
+		}
+	}
+}
+
 func (b *BFS) visit(s, d uint32, row, col uint32, level int32, depth []int32) {
 	// Forward direction: src on the frontier discovers dst.
 	if atomic.LoadInt32(&depth[s]) == level && atomic.LoadInt32(&depth[d]) == -1 {

@@ -29,7 +29,8 @@ type PageRank struct {
 
 	ctx      *Context
 	rank     []float64
-	next     []uint64 // float64 bits, accumulated atomically
+	next     []uint64 // float64 bits, accumulated atomically (ProcessTile path)
+	nextW    [][]float64
 	share    []float64
 	dangling float64
 	delta    float64
@@ -61,6 +62,13 @@ func (p *PageRank) Init(ctx *Context) error {
 	p.rank = make([]float64, n)
 	p.next = make([]uint64, n)
 	p.share = make([]float64, n)
+	// One private accumulator slab per engine worker: the chunked path
+	// adds rank shares without any atomics and AfterIteration reduces the
+	// slabs once (BigSparse-style merge-reduce).
+	p.nextW = make([][]float64, ctx.Workers)
+	for w := range p.nextW {
+		p.nextW[w] = make([]float64, n)
+	}
 	inv := 1.0 / float64(n)
 	for i := range p.rank {
 		p.rank[i] = inv
@@ -88,6 +96,11 @@ func (p *PageRank) BeforeIteration(int) {
 	}
 	for i := range p.next {
 		p.next[i] = 0
+	}
+	for _, slab := range p.nextW {
+		for i := range slab {
+			slab[i] = 0
+		}
 	}
 }
 
@@ -118,14 +131,48 @@ func (p *PageRank) ProcessTile(row, col uint32, data []byte) {
 	}
 }
 
-// AfterIteration implements Algorithm: apply damping and the dangling
-// redistribution, measure the L1 delta.
+// ProcessTileChunk implements ChunkedAlgorithm: identical edge-visiting
+// order to ProcessTile, but contributions accumulate in the worker's
+// private slab — the hot path has no atomics at all. The slabs are
+// reduced once in AfterIteration.
+func (p *PageRank) ProcessTileChunk(worker int, row, col uint32, data []byte) {
+	share := p.share
+	next := p.nextW[worker]
+	both := p.ctx.Half
+	if p.ctx.SNB {
+		rb, _ := p.ctx.Layout.VertexRange(row)
+		cb, _ := p.ctx.Layout.VertexRange(col)
+		for i := 0; i+tile.SNBTupleBytes <= len(data); i += tile.SNBTupleBytes {
+			so, do := tile.GetSNB(data[i:])
+			s, d := rb+uint32(so), cb+uint32(do)
+			next[d] += share[s]
+			if both && s != d {
+				next[s] += share[d]
+			}
+		}
+		return
+	}
+	for i := 0; i+tile.RawTupleBytes <= len(data); i += tile.RawTupleBytes {
+		s, d := tile.GetRaw(data[i:])
+		next[d] += share[s]
+		if both && s != d {
+			next[s] += share[d]
+		}
+	}
+}
+
+// AfterIteration implements Algorithm: reduce the per-worker slabs, apply
+// damping and the dangling redistribution, measure the L1 delta.
 func (p *PageRank) AfterIteration(iter int) bool {
 	n := float64(len(p.rank))
 	base := (1-damping)/n + damping*p.dangling/n
 	delta := 0.0
 	for v := range p.rank {
-		nv := base + damping*math.Float64frombits(atomic.LoadUint64(&p.next[v]))
+		sum := math.Float64frombits(atomic.LoadUint64(&p.next[v]))
+		for _, slab := range p.nextW {
+			sum += slab[v]
+		}
+		nv := base + damping*sum
 		delta += math.Abs(nv - p.rank[v])
 		p.rank[v] = nv
 	}
@@ -147,10 +194,13 @@ func (p *PageRank) NeedTileThisIter(uint32, uint32) bool { return true }
 // data would be utilized for the next iteration" (§III Observation 3).
 func (p *PageRank) NeedTileNextIter(uint32, uint32) bool { return true }
 
-// MetadataBytes implements Algorithm: rank + accumulator + share arrays
-// plus the degree structure.
+// MetadataBytes implements Algorithm: rank + accumulator + share arrays,
+// the per-worker slabs, plus the degree structure.
 func (p *PageRank) MetadataBytes() int64 {
 	b := int64(len(p.rank))*8 + int64(len(p.next))*8 + int64(len(p.share))*8
+	for _, slab := range p.nextW {
+		b += int64(len(slab)) * 8
+	}
 	if p.ctx != nil && p.ctx.Degrees != nil {
 		b += p.ctx.Degrees.SizeBytes()
 	}

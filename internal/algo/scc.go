@@ -93,6 +93,24 @@ func (s *SCC) ProcessTile(row, col uint32, data []byte) {
 	}
 }
 
+// ProcessTileChunk implements ChunkedAlgorithm: same propagation, with
+// the shared changed counter batched into one atomic add per chunk.
+func (s *SCC) ProcessTileChunk(_ int, row, col uint32, data []byte) {
+	var changed int64
+	edge := s.colorEdgeQuiet
+	if s.phase == phaseMark {
+		edge = s.markEdgeQuiet
+	}
+	s.forEach(row, col, data, func(u, v uint32) {
+		if edge(u, v) {
+			changed++
+		}
+	})
+	if changed > 0 {
+		s.changed.Add(changed)
+	}
+}
+
 func (s *SCC) forEach(row, col uint32, data []byte, fn func(src, dst uint32)) {
 	decodeLoop(s.ctx.SNB, rowBase(s.ctx, row), rowBase(s.ctx, col), data, fn)
 }
@@ -104,32 +122,45 @@ func rowBase(ctx *Context, t uint32) uint32 {
 
 // colorEdge propagates colors forward along u -> v.
 func (s *SCC) colorEdge(u, v uint32) {
+	if s.colorEdgeQuiet(u, v) {
+		s.changed.Add(1)
+	}
+}
+
+// colorEdgeQuiet is colorEdge without the shared-counter update; it
+// reports whether the edge changed v's color so chunked callers can
+// batch the accounting.
+func (s *SCC) colorEdgeQuiet(u, v uint32) bool {
 	if s.assigned.Has(u) || s.assigned.Has(v) {
-		return
+		return false
 	}
 	cu := atomic.LoadUint32(&s.color[u])
 	if cu > atomic.LoadUint32(&s.color[v]) {
-		if atomicMaxUint32(&s.color[v], cu) {
-			s.changed.Add(1)
-		}
+		return atomicMaxUint32(&s.color[v], cu)
 	}
+	return false
 }
 
 // markEdge propagates backward reachability within a color class: if v is
 // marked and u -> v with equal colors, u joins the root's backward set.
 func (s *SCC) markEdge(u, v uint32) {
-	if s.assigned.Has(u) || s.assigned.Has(v) {
-		return
-	}
-	if !s.marked.Has(v) || s.marked.Has(u) {
-		return
-	}
-	if atomic.LoadUint32(&s.color[u]) != atomic.LoadUint32(&s.color[v]) {
-		return
-	}
-	if s.marked.Set(u) {
+	if s.markEdgeQuiet(u, v) {
 		s.changed.Add(1)
 	}
+}
+
+// markEdgeQuiet is markEdge with the accounting left to the caller.
+func (s *SCC) markEdgeQuiet(u, v uint32) bool {
+	if s.assigned.Has(u) || s.assigned.Has(v) {
+		return false
+	}
+	if !s.marked.Has(v) || s.marked.Has(u) {
+		return false
+	}
+	if atomic.LoadUint32(&s.color[u]) != atomic.LoadUint32(&s.color[v]) {
+		return false
+	}
+	return s.marked.Set(u)
 }
 
 // atomicMaxUint32 raises *p to v if larger; reports whether it changed.

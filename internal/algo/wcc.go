@@ -74,6 +74,50 @@ func (w *WCC) ProcessTile(row, col uint32, data []byte) {
 	}
 }
 
+// ProcessTileChunk implements ChunkedAlgorithm: the label lowering stays
+// atomic (chunks of one tile race on shared vertices), but the changed
+// counter and the two change-map bits — constant for the whole chunk —
+// are accumulated on the stack and flushed once per chunk.
+func (w *WCC) ProcessTileChunk(_ int, row, col uint32, data []byte) {
+	var lowCol, lowRow int64
+	visit := func(s, d uint32) {
+		ls := atomic.LoadUint32(&w.labels[s])
+		ld := atomic.LoadUint32(&w.labels[d])
+		switch {
+		case ls < ld:
+			if atomicMinUint32(&w.labels[d], ls) {
+				lowCol++
+			}
+		case ld < ls:
+			if atomicMinUint32(&w.labels[s], ld) {
+				lowRow++
+			}
+		}
+	}
+	if w.ctx.SNB {
+		rb, _ := w.ctx.Layout.VertexRange(row)
+		cb, _ := w.ctx.Layout.VertexRange(col)
+		for i := 0; i+tile.SNBTupleBytes <= len(data); i += tile.SNBTupleBytes {
+			so, do := tile.GetSNB(data[i:])
+			visit(rb+uint32(so), cb+uint32(do))
+		}
+	} else {
+		for i := 0; i+tile.RawTupleBytes <= len(data); i += tile.RawTupleBytes {
+			s, d := tile.GetRaw(data[i:])
+			visit(s, d)
+		}
+	}
+	if lowCol > 0 {
+		w.nextRow.Set(col)
+	}
+	if lowRow > 0 {
+		w.nextRow.Set(row)
+	}
+	if lowCol+lowRow > 0 {
+		w.changed.Add(lowCol + lowRow)
+	}
+}
+
 func (w *WCC) hook(s, d uint32, row, col uint32) {
 	ls := atomic.LoadUint32(&w.labels[s])
 	ld := atomic.LoadUint32(&w.labels[d])

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/gwu-systems/gstore/internal/algo"
@@ -39,13 +40,31 @@ type Engine struct {
 
 	work chan workItem
 	wg   sync.WaitGroup
-	alg  algo.Algorithm
+	// chunkBytes is Options.ChunkBytes rounded down to the graph's tuple
+	// size (0 disables intra-tile chunking).
+	chunkBytes int64
+	workers    []workerStat
 }
 
+// workItem is one unit of compute: a whole tile, or — when the algorithm
+// supports chunked processing — one tuple-aligned chunk of a tile. The
+// algorithm travels with the item so concurrent Run teardown can never
+// leave a worker reading a stale engine-level field.
 type workItem struct {
-	row, col uint32
-	data     []byte
-	done     *sync.WaitGroup
+	alg     algo.Algorithm
+	chunked algo.ChunkedAlgorithm // non-nil selects the chunk entry point
+	row     uint32
+	col     uint32
+	data    []byte
+	done    *sync.WaitGroup
+}
+
+// workerStat is one worker's cumulative accounting, padded so neighboring
+// workers never share a cache line on the hot path.
+type workerStat struct {
+	busyNS atomic.Int64
+	chunks atomic.Int64
+	_      [112]byte
 }
 
 // NewEngine creates an engine over g. The engine owns a storage array on
@@ -118,10 +137,19 @@ func NewEngine(g *tile.Graph, opts Options) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{g: g, opts: opts, array: array, mm: mman}
+	if cb := opts.ChunkBytes; cb > 0 {
+		tb := g.Meta.TupleBytes()
+		cb -= cb % tb
+		if cb < tb {
+			cb = tb
+		}
+		e.chunkBytes = cb
+	}
+	e.workers = make([]workerStat, opts.Threads)
 	e.work = make(chan workItem, opts.Threads*2)
 	for i := 0; i < opts.Threads; i++ {
 		e.wg.Add(1)
-		go e.worker()
+		go e.worker(i)
 	}
 	return e, nil
 }
@@ -140,12 +168,51 @@ func (e *Engine) Close() {
 	}
 }
 
-func (e *Engine) worker() {
+// worker is one compute goroutine with a stable ID; chunked kernels key
+// their private accumulator slabs off it.
+func (e *Engine) worker(id int) {
 	defer e.wg.Done()
+	ws := &e.workers[id]
 	for item := range e.work {
-		e.alg.ProcessTile(item.row, item.col, item.data)
+		begin := time.Now()
+		if item.chunked != nil {
+			item.chunked.ProcessTileChunk(id, item.row, item.col, item.data)
+		} else {
+			item.alg.ProcessTile(item.row, item.col, item.data)
+		}
+		ws.busyNS.Add(int64(time.Since(begin)))
+		ws.chunks.Add(1)
 		item.done.Done()
 	}
+}
+
+// dispatch enqueues tile data as work items: one per tile on the legacy
+// path, one per chunkBytes-sized chunk when the algorithm implements
+// ChunkedAlgorithm — the load-balancing move that keeps all workers busy
+// on a segment dominated by one dense tile. Returns the items enqueued.
+func (e *Engine) dispatch(alg algo.Algorithm, chunked algo.ChunkedAlgorithm, ref mem.TileRef, done *sync.WaitGroup) int64 {
+	if chunked == nil || e.chunkBytes <= 0 || int64(len(ref.Data)) <= e.chunkBytes {
+		done.Add(1)
+		e.work <- workItem{alg: alg, chunked: chunked, row: ref.Row, col: ref.Col, data: ref.Data, done: done}
+		return 1
+	}
+	views := ref.Chunks(e.chunkBytes)
+	done.Add(len(views))
+	for _, v := range views {
+		e.work <- workItem{alg: alg, chunked: chunked, row: ref.Row, col: ref.Col, data: v, done: done}
+	}
+	return int64(len(views))
+}
+
+// workerSnapshot copies the cumulative per-worker counters.
+func (e *Engine) workerSnapshot() (busy []int64, chunks []int64) {
+	busy = make([]int64, len(e.workers))
+	chunks = make([]int64, len(e.workers))
+	for i := range e.workers {
+		busy[i] = e.workers[i].busyNS.Load()
+		chunks[i] = e.workers[i].chunks.Load()
+	}
+	return busy, chunks
 }
 
 // Run executes a on the graph until convergence and returns statistics.
@@ -178,14 +245,16 @@ func (e *Engine) Run(ctx context.Context, a algo.Algorithm) (*Stats, error) {
 		Half:        e.g.Meta.Half,
 		SNB:         e.g.Meta.SNB,
 		Degrees:     degrees,
+		Workers:     e.opts.Threads,
 	}
 	if err := a.Init(actx); err != nil {
 		return nil, &BadRequestError{Err: err}
 	}
-	e.alg = a
+	chunked, _ := a.(algo.ChunkedAlgorithm)
 	e.mm.Clear()
 
 	stats := &Stats{Algorithm: a.Name()}
+	busyStart, chunksStart := e.workerSnapshot()
 	startStorage := e.array.Stats()
 	fd, hasFaults := e.array.(*storage.FaultDevice)
 	var startFaults storage.FaultStats
@@ -201,7 +270,7 @@ func (e *Engine) Run(ctx context.Context, a algo.Algorithm) (*Stats, error) {
 		a.BeforeIteration(iter)
 		before := *stats
 		beforeIO := e.array.Stats()
-		if err := e.runIteration(ctx, a, stats); err != nil {
+		if err := e.runIteration(ctx, a, chunked, stats); err != nil {
 			return nil, err
 		}
 		stats.Iterations = iter + 1
@@ -228,6 +297,23 @@ func (e *Engine) Run(ctx context.Context, a algo.Algorithm) (*Stats, error) {
 	stats.Elapsed = time.Since(begin)
 	stats.MetadataBytes = a.MetadataBytes()
 	stats.Mem = e.mm.Stats()
+	busyEnd, chunksEnd := e.workerSnapshot()
+	stats.WorkerBusy = make([]time.Duration, len(busyEnd))
+	stats.WorkerChunks = make([]int64, len(chunksEnd))
+	var busySum, busyMax time.Duration
+	for i := range busyEnd {
+		d := time.Duration(busyEnd[i] - busyStart[i])
+		stats.WorkerBusy[i] = d
+		stats.WorkerChunks[i] = chunksEnd[i] - chunksStart[i]
+		busySum += d
+		if d > busyMax {
+			busyMax = d
+		}
+	}
+	if busySum > 0 && len(busyEnd) > 0 {
+		mean := float64(busySum) / float64(len(busyEnd))
+		stats.Imbalance = float64(busyMax) / mean
+	}
 	end := e.array.Stats()
 	stats.Storage = end
 	stats.BytesRead = end.BytesRead - startStorage.BytesRead
@@ -240,7 +326,7 @@ func (e *Engine) Run(ctx context.Context, a algo.Algorithm) (*Stats, error) {
 
 // runIteration performs one SCR iteration: selective-fetch planning,
 // rewind over the cache pool, then the slide over the remaining tiles.
-func (e *Engine) runIteration(ctx context.Context, a algo.Algorithm, stats *Stats) error {
+func (e *Engine) runIteration(ctx context.Context, a algo.Algorithm, chunked algo.ChunkedAlgorithm, stats *Stats) error {
 	layout := e.g.Layout
 	needed := make([]int, 0, layout.NumTiles())
 	for i := 0; i < layout.NumTiles(); i++ {
@@ -265,8 +351,7 @@ func (e *Engine) runIteration(ctx context.Context, a algo.Algorithm, stats *Stat
 				continue
 			}
 			inCache[ref.DiskIdx] = true
-			done.Add(1)
-			e.work <- workItem{row: ref.Row, col: ref.Col, data: ref.Data, done: &done}
+			stats.Chunks += e.dispatch(a, chunked, ref, &done)
 			stats.TilesProcessed++
 			stats.TilesFromCache++
 		}
@@ -280,7 +365,7 @@ func (e *Engine) runIteration(ctx context.Context, a algo.Algorithm, stats *Stat
 			toFetch = append(toFetch, di)
 		}
 	}
-	return e.slide(ctx, a, toFetch, stats)
+	return e.slide(ctx, a, chunked, toFetch, stats)
 }
 
 func containsSorted(sorted []int, x int) bool {
@@ -370,7 +455,7 @@ func (e *Engine) planSegments(toFetch []int) []*segmentPlan {
 // Cancellation: ctx is polled before every completion wait, so a cancel
 // takes effect within one I/O completion; the teardown path then drains
 // and releases exactly as for an I/O error.
-func (e *Engine) slide(ctx context.Context, a algo.Algorithm, toFetch []int, stats *Stats) error {
+func (e *Engine) slide(ctx context.Context, a algo.Algorithm, chunked algo.ChunkedAlgorithm, toFetch []int, stats *Stats) error {
 	plans := e.planSegments(toFetch)
 	if len(plans) == 0 {
 		return nil
@@ -467,7 +552,9 @@ func (e *Engine) slide(ctx context.Context, a algo.Algorithm, toFetch []int, sta
 		}
 		fl.attempts[ri]++
 		stats.Retries++
-		e.backoff(fl.attempts[ri])
+		if err := e.backoff(ctx, fl.attempts[ri]); err != nil {
+			return err
+		}
 		req := &storage.Request{
 			Offset: r.fileOff,
 			Buf:    fl.seg.Buf[r.bufOff : r.bufOff+r.n],
@@ -531,8 +618,7 @@ func (e *Engine) slide(ctx context.Context, a algo.Algorithm, toFetch []int, sta
 		var done sync.WaitGroup
 		cs := time.Now()
 		for _, ref := range refs {
-			done.Add(1)
-			e.work <- workItem{row: ref.Row, col: ref.Col, data: ref.Data, done: &done}
+			stats.Chunks += e.dispatch(a, chunked, ref, &done)
 		}
 		stats.TilesProcessed += int64(len(refs))
 		stats.TilesFetched += int64(len(refs))
@@ -565,16 +651,21 @@ func (e *Engine) readSyncRetry(ctx context.Context, r run, s *mem.Segment, stats
 			return fmt.Errorf("core: tile read failed after %d attempts: %w", attempt+1, err)
 		}
 		stats.Retries++
-		e.backoff(attempt + 1)
+		if err := e.backoff(ctx, attempt+1); err != nil {
+			return err
+		}
 	}
 }
 
-// backoff sleeps before the attempt'th retry (1-based): RetryBackoff
-// doubled per attempt, capped at RetryBackoffMax.
-func (e *Engine) backoff(attempt int) {
+// backoff pauses before the attempt'th retry (1-based): RetryBackoff
+// doubled per attempt, capped at RetryBackoffMax. The sleep is a timer
+// select against ctx, so a canceled run never blocks a retry out — an
+// unconditional time.Sleep here would stall the whole completion loop
+// for up to RetryBackoffMax per retry after the client is gone.
+func (e *Engine) backoff(ctx context.Context, attempt int) error {
 	d := e.opts.RetryBackoff
 	if d <= 0 {
-		return
+		return ctx.Err()
 	}
 	for i := 1; i < attempt && d < e.opts.RetryBackoffMax; i++ {
 		d *= 2
@@ -582,7 +673,14 @@ func (e *Engine) backoff(attempt int) {
 	if max := e.opts.RetryBackoffMax; max > 0 && d > max {
 		d = max
 	}
-	time.Sleep(d)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("core: run canceled during retry backoff: %w", ctx.Err())
+	}
 }
 
 // retire moves a processed segment toward the cache pool according to the

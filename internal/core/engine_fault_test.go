@@ -259,16 +259,37 @@ func TestMakeRoomLRUBoundary(t *testing.T) {
 
 // The backoff schedule must honor the cap.
 func TestBackoffCapped(t *testing.T) {
+	ctx := context.Background()
 	e := &Engine{opts: Options{RetryBackoff: time.Millisecond, RetryBackoffMax: 4 * time.Millisecond}}
 	begin := time.Now()
-	e.backoff(10) // would be 512ms uncapped
+	if err := e.backoff(ctx, 10); err != nil { // would be 512ms uncapped
+		t.Fatal(err)
+	}
 	if elapsed := time.Since(begin); elapsed > 100*time.Millisecond {
 		t.Fatalf("backoff(10) slept %v, want ~4ms cap", elapsed)
 	}
 	e2 := &Engine{opts: Options{}}
 	begin = time.Now()
-	e2.backoff(5) // zero backoff: no sleep
+	if err := e2.backoff(ctx, 5); err != nil { // zero backoff: no sleep
+		t.Fatal(err)
+	}
 	if elapsed := time.Since(begin); elapsed > 50*time.Millisecond {
 		t.Fatalf("zero-config backoff slept %v", elapsed)
+	}
+}
+
+// A canceled context interrupts a retry backoff immediately instead of
+// blocking the completion loop out the full schedule.
+func TestBackoffCanceledContext(t *testing.T) {
+	e := &Engine{opts: Options{RetryBackoff: time.Hour, RetryBackoffMax: time.Hour}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	begin := time.Now()
+	err := e.backoff(ctx, 1)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("backoff under canceled ctx = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(begin); elapsed > 100*time.Millisecond {
+		t.Fatalf("canceled backoff took %v, want immediate return", elapsed)
 	}
 }

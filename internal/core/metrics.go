@@ -1,6 +1,8 @@
 package core
 
 import (
+	"strconv"
+
 	"github.com/gwu-systems/gstore/internal/metrics"
 )
 
@@ -46,6 +48,26 @@ func PublishStats(r *metrics.Registry, graph string, st *Stats) {
 	r.Counter("gstore_engine_compute_microseconds_total",
 		"Microseconds spent processing tiles.", g).
 		Add(st.Compute.Microseconds())
+	r.Counter("gstore_engine_chunks_total",
+		"Work items (tile chunks) dispatched to workers.", g).Add(st.Chunks)
+
+	// Per-worker accounting and the balance gauge: the chunked-dispatch
+	// win is max/mean worker busy time near 1.0 instead of the worker
+	// count on skewed segments.
+	for w, d := range st.WorkerBusy {
+		wl := metrics.L("worker", strconv.Itoa(w))
+		r.Counter("gstore_engine_worker_busy_microseconds_total",
+			"Microseconds each worker spent inside kernel code.", g, wl).
+			Add(d.Microseconds())
+		r.Counter("gstore_engine_worker_chunks_total",
+			"Work items processed by each worker.", g, wl).
+			Add(st.WorkerChunks[w])
+	}
+	if st.Imbalance > 0 {
+		r.FloatGauge("gstore_engine_compute_imbalance",
+			"Max/mean worker busy time of the last run (1.0 = perfectly balanced).", g).
+			Set(st.Imbalance)
+	}
 
 	// Injected-fault counters (per-run deltas; zero without a FaultDevice).
 	r.Counter("gstore_engine_faults_injected_errors_total",

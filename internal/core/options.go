@@ -31,6 +31,18 @@ const (
 	CacheNone
 )
 
+const (
+	// DefaultChunkBytes is the chunk threshold used when
+	// Options.ChunkBytes is zero: large enough that chunk dispatch
+	// overhead is noise (a 256 KiB SNB chunk holds 64Ki tuples), small
+	// enough that the densest tiles of a power-law graph split into many
+	// work items.
+	DefaultChunkBytes = 256 << 10
+	// ChunkDisabled turns intra-tile chunking off: every tile is one work
+	// item, as before chunked dispatch existed.
+	ChunkDisabled = -1
+)
+
 func (p CachePolicy) String() string {
 	switch p {
 	case CacheProactive:
@@ -56,6 +68,14 @@ type Options struct {
 	// Threads processes tiles concurrently (paper: OpenMP dynamic
 	// scheduling over rows). Defaults to GOMAXPROCS.
 	Threads int
+	// ChunkBytes caps the tile data handed to one worker as a single work
+	// item. Tiles larger than this split into several tuple-aligned
+	// chunks, so a power-law segment dominated by one dense tile still
+	// keeps every worker busy. Zero selects DefaultChunkBytes;
+	// ChunkDisabled (or any negative value) dispatches whole tiles — the
+	// per-tile fan-out baseline, kept for ablation. The effective size is
+	// rounded down to the graph's tuple alignment (minimum one tuple).
+	ChunkBytes int64
 	// Selective enables metadata-driven selective tile fetching (§V-B).
 	Selective bool
 	// Cache selects the caching policy (see CachePolicy).
@@ -134,6 +154,9 @@ func (o *Options) normalize() error {
 	if o.MaxIterations <= 0 {
 		o.MaxIterations = 1 << 20
 	}
+	if o.ChunkBytes == 0 {
+		o.ChunkBytes = DefaultChunkBytes
+	}
 	if o.Disks <= 0 {
 		o.Disks = 1
 	}
@@ -186,6 +209,19 @@ type Stats struct {
 	TilesSkipped   int64 // skipped by selective fetching
 	BytesRead      int64
 	IORequests     int64
+
+	// Chunks counts the work items dispatched to workers; it exceeds
+	// TilesProcessed whenever tiles split at the ChunkBytes boundary.
+	Chunks int64
+	// WorkerBusy is, per worker ID, the time spent inside kernel code
+	// during this run.
+	WorkerBusy []time.Duration
+	// WorkerChunks is, per worker ID, the work items processed this run.
+	WorkerChunks []int64
+	// Imbalance is max/mean over WorkerBusy: 1.0 is a perfectly balanced
+	// run, Threads is one worker doing everything. Zero when the run did
+	// no measurable compute.
+	Imbalance float64
 
 	// IOFailures counts failed or short read attempts the scheduler
 	// observed; each may be retried, so IOFailures > 0 with a nil Run

@@ -38,6 +38,9 @@ type Config struct {
 	Seed uint64
 	// Threads for the engines.
 	Threads int
+	// ThreadList is the thread counts swept by the "sweep" runner
+	// (default 1,2,4,8).
+	ThreadList []int
 	// Out receives the report tables.
 	Out io.Writer
 	// Quick shrinks the workloads for smoke runs.
@@ -106,6 +109,7 @@ func All() []Runner {
 		{"scc", "Extension: strongly connected components (§IV-A)", ExtSCC},
 		{"msbfs", "Extension: multi-source BFS I/O sharing ([22])", ExtMSBFS},
 		{"relabel", "Extension: degree-sorted vertex relabeling", ExtRelabel},
+		{"sweep", "Extension: thread-count sweep of the chunked dispatcher", ThreadSweep},
 	}
 }
 

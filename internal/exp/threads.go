@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/gwu-systems/gstore/internal/algo"
+	"github.com/gwu-systems/gstore/internal/report"
+)
+
+// ThreadSweep measures compute scaling of the chunked dispatcher: BFS and
+// PageRank on the primary RMAT workload at each thread count, reported as
+// edges/second with the per-run compute-imbalance reading. The runs are
+// unthrottled (fastOpts) so worker parallelism, not the simulated SSD
+// array, is the bottleneck being measured.
+func ThreadSweep(c *Config) error {
+	c.Defaults()
+	threads := c.ThreadList
+	if len(threads) == 0 {
+		threads = []int{1, 2, 4, 8}
+	}
+	tg, err := c.tileGraph("kron-main", c.kronCfg(), c.stdTileOpts())
+	if err != nil {
+		return err
+	}
+	defer tg.Close()
+	edges := tg.Meta.NumOriginal
+
+	const prIters = 3
+	tb := report.New(fmt.Sprintf("Thread sweep: edges/sec on %s (%d edges)",
+		c.kronCfg().Name(), edges),
+		"threads", "BFS", "BFS edges/s", "imbalance",
+		"PageRank", "PR edges/s", "imbalance")
+	eps := func(n int64, d time.Duration) string {
+		if d <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2fM", float64(n)/d.Seconds()/1e6)
+	}
+	for _, n := range threads {
+		if n <= 0 {
+			return fmt.Errorf("sweep: invalid thread count %d", n)
+		}
+		o := c.fastOpts(tg)
+		o.Threads = n
+		bst, err := runEngine(tg, o, algo.NewBFS(0))
+		if err != nil {
+			return err
+		}
+		pst, err := runEngine(tg, o, algo.NewPageRank(prIters))
+		if err != nil {
+			return err
+		}
+		// BFS touches each stored edge at most once per direction; PageRank
+		// streams every edge once per iteration.
+		tb.Row(n,
+			bst.Elapsed, eps(edges, bst.Elapsed), bst.Imbalance,
+			pst.Elapsed, eps(edges*prIters, pst.Elapsed), pst.Imbalance)
+	}
+	tb.Fprint(c.Out)
+	return nil
+}

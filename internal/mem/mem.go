@@ -32,6 +32,27 @@ type TileRef struct {
 	Data []byte
 }
 
+// Chunks splits the tile's data into consecutive views of at most
+// chunkBytes each, for chunked work dispatch. chunkBytes must be positive
+// and a multiple of the graph's tuple size — every view except possibly
+// the last is then exactly chunkBytes, so no tuple straddles a boundary.
+// The views alias r.Data and share its invalidation rules.
+func (r TileRef) Chunks(chunkBytes int64) [][]byte {
+	n := int64(len(r.Data))
+	if chunkBytes <= 0 || n <= chunkBytes {
+		return [][]byte{r.Data}
+	}
+	views := make([][]byte, 0, (n+chunkBytes-1)/chunkBytes)
+	for off := int64(0); off < n; off += chunkBytes {
+		end := off + chunkBytes
+		if end > n {
+			end = n
+		}
+		views = append(views, r.Data[off:end])
+	}
+	return views
+}
+
 // Segment is one streaming buffer. The engine fills Buf from disk with a
 // single batched read of consecutive tiles and then registers the tile
 // boundaries with SetTiles.

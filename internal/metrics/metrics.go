@@ -71,6 +71,18 @@ func (g *Gauge) Set(v int64) { g.v.Store(v) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is a gauge holding a float64 (e.g. a ratio like the
+// engine's compute-imbalance reading). It renders as a Prometheus gauge.
+type FloatGauge struct {
+	v atomic.Uint64 // float64 bits
+}
+
+// Set overwrites the gauge.
+func (g *FloatGauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
 // Histogram is a fixed-bucket cumulative histogram. Buckets are upper
 // bounds; an implicit +Inf bucket always exists. Observe is lock-free.
 type Histogram struct {
@@ -101,16 +113,26 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
 const (
-	typeCounter   = "counter"
-	typeGauge     = "gauge"
-	typeHistogram = "histogram"
+	typeCounter    = "counter"
+	typeGauge      = "gauge"
+	typeFloatGauge = "floatgauge" // rendered as "gauge"; distinct for type checks
+	typeHistogram  = "histogram"
 )
+
+// expoType maps an internal family type to its exposition TYPE keyword.
+func expoType(typ string) string {
+	if typ == typeFloatGauge {
+		return typeGauge
+	}
+	return typ
+}
 
 // instance is one labeled time series of a family.
 type instance struct {
 	labels string // rendered {k="v",...} or ""
 	c      *Counter
 	g      *Gauge
+	fg     *FloatGauge
 	h      *Histogram
 }
 
@@ -147,6 +169,13 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	inst := r.instance(name, help, typeGauge, nil, labels)
 	return inst.g
+}
+
+// FloatGauge returns the float-valued gauge with the given name and
+// labels. A name is either an integer Gauge or a FloatGauge, never both.
+func (r *Registry) FloatGauge(name, help string, labels ...Label) *FloatGauge {
+	inst := r.instance(name, help, typeFloatGauge, nil, labels)
+	return inst.fg
 }
 
 // Histogram returns the histogram with the given name, bucket bounds and
@@ -194,6 +223,8 @@ func (r *Registry) instance(name, help, typ string, buckets []float64, labels []
 			inst.c = &Counter{}
 		case typeGauge:
 			inst.g = &Gauge{}
+		case typeFloatGauge:
+			inst.fg = &FloatGauge{}
 		case typeHistogram:
 			h := &Histogram{bounds: f.buckets}
 			h.counts = make([]atomic.Int64, len(f.buckets)+1)
@@ -265,13 +296,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if f.help != "" {
 			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
 		}
-		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, expoType(f.typ))
 		for _, inst := range insts {
 			switch f.typ {
 			case typeCounter:
 				fmt.Fprintf(&b, "%s%s %d\n", f.name, inst.labels, inst.c.Value())
 			case typeGauge:
 				fmt.Fprintf(&b, "%s%s %d\n", f.name, inst.labels, inst.g.Value())
+			case typeFloatGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, inst.labels,
+					strconv.FormatFloat(inst.fg.Value(), 'g', -1, 64))
 			case typeHistogram:
 				writeHistogram(&b, f.name, inst)
 			}

@@ -170,3 +170,36 @@ func TestWriteEvent(t *testing.T) {
 	// nil writer must not panic.
 	WriteEvent(nil, "noop", KV{"k", "v"})
 }
+
+func TestFloatGauge(t *testing.T) {
+	r := NewRegistry()
+	fg := r.FloatGauge("imbalance", "max/mean worker busy", L("graph", "g"))
+	fg.Set(1.25)
+	if v := fg.Value(); v != 1.25 {
+		t.Fatalf("FloatGauge = %v, want 1.25", v)
+	}
+	if r.FloatGauge("imbalance", "max/mean worker busy", L("graph", "g")) != fg {
+		t.Fatal("re-registration returned a different FloatGauge")
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Renders as a Prometheus gauge with the float value verbatim.
+	if !strings.Contains(out, "# TYPE imbalance gauge\n") {
+		t.Fatalf("missing gauge TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, `imbalance{graph="g"} 1.25`+"\n") {
+		t.Fatalf("missing float sample line:\n%s", out)
+	}
+
+	// A name is one type forever: requesting it as an int Gauge panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gauge() on a FloatGauge name did not panic")
+		}
+	}()
+	r.Gauge("imbalance", "wrong type")
+}

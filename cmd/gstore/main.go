@@ -42,6 +42,8 @@ func main() {
 		err = cmdInfo(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
+	case "fsck":
+		err = cmdFsck(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
 	case "bfs", "asyncbfs", "pagerank", "wcc", "scc":
@@ -61,6 +63,7 @@ func usage() {
   gstore convert -in edges.bin -vertices N [-directed] -dir DIR -name NAME [-tilebits 16] [-groupq 256]
   gstore info -graph DIR/NAME
   gstore verify -graph DIR/NAME
+  gstore fsck -graph DIR/NAME
   gstore stats -graph DIR/NAME
   gstore bfs -graph DIR/NAME -root 0 [engine flags]
   gstore asyncbfs -graph DIR/NAME -root 0 [engine flags]
@@ -122,6 +125,7 @@ func cmdInfo(args []string) error {
 		m.TileBits, g.Layout.P, g.Layout.NumTiles())
 	fmt.Printf("groups:      %dx%d tiles\n", m.GroupQ, m.GroupQ)
 	fmt.Printf("directed:    %v   half-stored: %v   snb: %v\n", m.Directed, m.Half, m.SNB)
+	fmt.Printf("format:      v%d   checksummed: %v\n", m.Version, g.Checksummed())
 	fmt.Printf("data:        %s (+%s start-edge)\n",
 		report.Bytes(g.DataBytes()), report.Bytes(g.StartBytes()))
 	return nil
@@ -145,6 +149,37 @@ func cmdVerify(args []string) error {
 	fmt.Printf("%s: OK (%d tiles, %d tuples, %s)\n",
 		*path, g.Layout.NumTiles(), g.Meta.NumStored, report.Bytes(g.DataBytes()))
 	return nil
+}
+
+// cmdFsck validates a graph offline — header, start-array monotonicity,
+// per-tile CRC32C checksums, tuple ranges, degree file — and reports
+// every corrupt section and tile it finds. Exit status 0 means the
+// graph passed every applicable check.
+func cmdFsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	path := fs.String("graph", "", "graph base path (dir/name)")
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("fsck: -graph is required")
+	}
+	r := tile.Fsck(*path)
+	mode := "full (per-tile crc32c)"
+	if !r.Checksummed {
+		mode = "structural only (v1 graph, no checksums)"
+	}
+	if r.OK() {
+		fmt.Printf("%s: OK — format v%d, %s; %d tiles, %d tuples checked\n",
+			*path, r.Version, mode, r.TilesChecked, r.TuplesChecked)
+		return nil
+	}
+	for _, f := range r.Findings {
+		fmt.Fprintf(os.Stderr, "fsck: %s\n", f)
+	}
+	if r.Truncated {
+		fmt.Fprintf(os.Stderr, "fsck: ... further findings suppressed after the first %d\n",
+			len(r.Findings))
+	}
+	return fmt.Errorf("%s: %d problem(s) found", *path, len(r.Findings))
 }
 
 func cmdStats(args []string) error {
@@ -191,6 +226,7 @@ func engineFlags(fs *flag.FlagSet) func() core.Options {
 	faultShort := fs.Float64("faultshort", 0, "injected short-read probability in [0,1]")
 	faultSlow := fs.Float64("faultslow", 0, "injected latency-spike probability in [0,1]")
 	faultDelay := fs.Duration("faultdelay", time.Millisecond, "injected latency-spike length")
+	faultCorrupt := fs.Float64("faultcorrupt", 0, "injected silent-corruption probability in [0,1]")
 	faultSeed := fs.Int64("faultseed", 1, "fault injection seed")
 	return func() core.Options {
 		o := core.DefaultOptions()
@@ -210,13 +246,14 @@ func engineFlags(fs *flag.FlagSet) func() core.Options {
 		o.Bandwidth = *bw
 		o.SyncIO = *sync
 		o.MaxRetries = *retries
-		if *faultRate > 0 || *faultShort > 0 || *faultSlow > 0 {
+		if *faultRate > 0 || *faultShort > 0 || *faultSlow > 0 || *faultCorrupt > 0 {
 			o.Fault = &storage.FaultConfig{
-				Seed:      *faultSeed,
-				ErrorRate: *faultRate,
-				ShortRate: *faultShort,
-				SlowRate:  *faultSlow,
-				SlowDelay: *faultDelay,
+				Seed:        *faultSeed,
+				ErrorRate:   *faultRate,
+				ShortRate:   *faultShort,
+				SlowRate:    *faultSlow,
+				SlowDelay:   *faultDelay,
+				CorruptRate: *faultCorrupt,
 			}
 		}
 		if *trace {
@@ -351,8 +388,12 @@ func cmdRun(alg string, args []string) error {
 		st.Elapsed.Round(1e6), st.Iterations, report.Bytes(st.BytesRead),
 		st.IORequests, st.TilesFromCache, st.TilesProcessed)
 	if o.Fault != nil || st.IOFailures > 0 {
-		fmt.Printf("faults: %d injected errors, %d short reads, %d slowdowns; %d failed reads recovered by %d retries\n",
-			st.Faults.Errors, st.Faults.Shorts, st.Faults.Slows, st.IOFailures, st.Retries)
+		fmt.Printf("faults: %d injected errors, %d short reads, %d slowdowns, %d corruptions; %d failed reads recovered by %d retries\n",
+			st.Faults.Errors, st.Faults.Shorts, st.Faults.Slows, st.Faults.Corruptions, st.IOFailures, st.Retries)
+	}
+	if st.TilesVerified > 0 {
+		fmt.Printf("integrity: %d tiles verified, %d checksum mismatches recovered\n",
+			st.TilesVerified, st.ChecksumMismatches)
 	}
 	if *dumpMetrics {
 		// The same counters a live gstored exposes on /metrics, rendered

@@ -90,8 +90,50 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Fatalf("scc output: %s", out)
 	}
 
+	// fsck round-trip: a freshly converted graph passes; a flipped byte
+	// in the tiles file fails with the corrupt section named.
+	out = run(gstoreBin, "fsck", "-graph", "./k")
+	if !strings.Contains(out, "OK") || !strings.Contains(out, "format v2") {
+		t.Fatalf("fsck output: %s", out)
+	}
+
+	tilesFile := filepath.Join(dir, "k.tiles")
+	data, err := os.ReadFile(tilesFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x80
+	if err := os.WriteFile(tilesFile, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(gstoreBin, "fsck", "-graph", "./k")
+	cmd.Dir = dir
+	fsckOut, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("fsck passed a corrupted graph:\n%s", fsckOut)
+	}
+	if !strings.Contains(string(fsckOut), "tiles") || !strings.Contains(string(fsckOut), "crc32c") {
+		t.Fatalf("fsck did not name the corrupt section:\n%s", fsckOut)
+	}
+	// A run over the corrupted graph must fail with the integrity error.
+	cmd = exec.Command(gstoreBin, "bfs", "-graph", "./k", "-root", "0")
+	cmd.Dir = dir
+	bfsOut, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("bfs succeeded on a corrupted graph:\n%s", bfsOut)
+	}
+	if !strings.Contains(string(bfsOut), "integrity") {
+		t.Fatalf("bfs error does not mention integrity:\n%s", bfsOut)
+	}
+	// Restore and confirm fsck is clean again.
+	data[len(data)/3] ^= 0x80
+	if err := os.WriteFile(tilesFile, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run(gstoreBin, "fsck", "-graph", "./k")
+
 	// Unknown subcommand must fail.
-	cmd := exec.Command(gstoreBin, "nonsense")
+	cmd = exec.Command(gstoreBin, "nonsense")
 	if err := cmd.Run(); err == nil {
 		t.Fatal("unknown subcommand succeeded")
 	}

@@ -32,6 +32,7 @@ import (
 
 	"github.com/gwu-systems/gstore/internal/core"
 	"github.com/gwu-systems/gstore/internal/server"
+	"github.com/gwu-systems/gstore/internal/storage"
 )
 
 type graphFlags []string
@@ -52,6 +53,10 @@ func main() {
 	disks := flag.Int("disks", 8, "simulated SSD count")
 	bw := flag.Float64("bandwidth", 0, "per-disk bandwidth in bytes/s (0 = unthrottled)")
 	pprofOn := flag.Bool("pprof", true, "serve net/http/pprof under /debug/pprof/")
+	faultRate := flag.Float64("faultrate", 0, "injected read-error probability in [0,1]")
+	faultShort := flag.Float64("faultshort", 0, "injected short-read probability in [0,1]")
+	faultCorrupt := flag.Float64("faultcorrupt", 0, "injected silent-corruption probability in [0,1]")
+	faultSeed := flag.Int64("faultseed", 1, "fault injection seed")
 	readHeaderTO := flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout")
 	readTO := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
 	idleTO := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout")
@@ -90,6 +95,14 @@ func main() {
 		opts.ChunkBytes = *chunk
 		opts.Disks = *disks
 		opts.Bandwidth = *bw
+		if *faultRate > 0 || *faultShort > 0 || *faultCorrupt > 0 {
+			opts.Fault = &storage.FaultConfig{
+				Seed:        *faultSeed,
+				ErrorRate:   *faultRate,
+				ShortRate:   *faultShort,
+				CorruptRate: *faultCorrupt,
+			}
+		}
 		if err := srv.AddGraph(name, path, opts); err != nil {
 			log.Fatalf("gstored: loading %s: %v", spec, err)
 		}

@@ -88,6 +88,23 @@ func Open(basePath string) (*Graph, error) { return tile.Open(basePath) }
 // start-edge consistency and degree-file agreement.
 func Verify(g *Graph) error { return tile.Verify(g) }
 
+// FsckReport is the result of an offline integrity check.
+type FsckReport = tile.FsckReport
+
+// FsckFinding is one problem an offline integrity check discovered.
+type FsckFinding = tile.FsckFinding
+
+// Fsck validates the graph at basePath offline — header checksum,
+// start-array monotonicity, per-tile CRC32C checksums, tuple ranges and
+// degree agreement — reporting every problem found rather than stopping
+// at the first. It is the library form of `gstore fsck`.
+func Fsck(basePath string) *FsckReport { return tile.Fsck(basePath) }
+
+// IntegrityError is returned by engine runs that read a tile whose data
+// no longer matches its recorded checksum (after one re-read); it names
+// the exact corrupt tile.
+type IntegrityError = core.IntegrityError
+
 // GraphStats summarizes tile and physical-group occupancy.
 type GraphStats = tile.Stats
 

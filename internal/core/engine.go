@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -271,6 +272,18 @@ func (e *Engine) Run(ctx context.Context, a algo.Algorithm) (*Stats, error) {
 		before := *stats
 		beforeIO := e.array.Stats()
 		if err := e.runIteration(ctx, a, chunked, stats); err != nil {
+			var ie *IntegrityError
+			if errors.As(err, &ie) {
+				// Integrity failures return the partial stats so the
+				// verification and mismatch counters still reach the
+				// caller's metrics.
+				stats.IntegrityErrors++
+				stats.Elapsed = time.Since(begin)
+				if hasFaults {
+					stats.Faults = fd.FaultStats().Sub(startFaults)
+				}
+				return stats, err
+			}
 			return nil, err
 		}
 		stats.Iterations = iter + 1
@@ -599,6 +612,12 @@ func (e *Engine) slide(ctx context.Context, a algo.Algorithm, chunked algo.Chunk
 			}
 		}
 		stats.IOWait += time.Since(ws)
+
+		// Verify the segment's tiles against their recorded checksums
+		// before any worker sees the data (no-op on v1 graphs).
+		if err := e.verifySegment(fl.plan, fl.seg, stats); err != nil {
+			return fail(head, err)
+		}
 
 		// Register the loaded tiles and hand them to the workers; kick
 		// off the next load first so I/O overlaps compute (the slide).

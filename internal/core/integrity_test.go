@@ -1,0 +1,168 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"testing"
+
+	"github.com/gwu-systems/gstore/internal/algo"
+	"github.com/gwu-systems/gstore/internal/graph"
+	"github.com/gwu-systems/gstore/internal/storage"
+	"github.com/gwu-systems/gstore/internal/tile"
+)
+
+// Acceptance: a flipped byte in the tiles file fails the run with
+// *IntegrityError naming the corrupt tile, and the partial stats carry
+// the verification counters to the caller.
+func TestEngineDetectsOnDiskCorruption(t *testing.T) {
+	el := kron(t, 10, 8, 31)
+	g := convert(t, el, 6, 4)
+	e, err := NewEngine(g, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Flip one bit in the first non-empty tile's data. The write goes to
+	// the same inode, so the engine's open handle sees the damage.
+	victim := -1
+	for i := 0; i < g.Layout.NumTiles(); i++ {
+		if g.TupleCount(i) > 0 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("graph has no tuples")
+	}
+	off, _ := g.TileByteRange(victim)
+	tilesPath := g.BasePath() + ".tiles"
+	data, err := os.ReadFile(tilesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[off] ^= 0x40
+	if err := os.WriteFile(tilesPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := e.Run(context.Background(), algo.NewPageRank(3))
+	var ie *IntegrityError
+	if !errors.As(err, &ie) {
+		t.Fatalf("Run error = %v, want *IntegrityError", err)
+	}
+	if ie.Tile != victim {
+		t.Fatalf("IntegrityError names tile %d, want %d", ie.Tile, victim)
+	}
+	c := g.Layout.CoordAt(victim)
+	if ie.Row != c.Row || ie.Col != c.Col {
+		t.Fatalf("IntegrityError coords (%d,%d), want (%d,%d)", ie.Row, ie.Col, c.Row, c.Col)
+	}
+	var ce *tile.ChecksumError
+	if !errors.As(err, &ce) {
+		t.Fatalf("IntegrityError does not wrap *tile.ChecksumError: %v", err)
+	}
+	if st == nil {
+		t.Fatal("integrity failure returned nil stats")
+	}
+	if st.IntegrityErrors != 1 || st.ChecksumMismatches == 0 {
+		t.Fatalf("stats = %+v, want IntegrityErrors=1 and ChecksumMismatches>0", st)
+	}
+	checkNoLeakedSegments(t, e)
+
+	// Restore the byte: the same engine must run clean again.
+	data[off] ^= 0x40
+	if err := os.WriteFile(tilesPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err = e.Run(context.Background(), algo.NewPageRank(3))
+	if err != nil {
+		t.Fatalf("Run after restore: %v", err)
+	}
+	if st.TilesVerified == 0 || st.IntegrityErrors != 0 {
+		t.Fatalf("clean run stats = %+v, want TilesVerified>0, IntegrityErrors=0", st)
+	}
+	checkNoLeakedSegments(t, e)
+}
+
+// Under a fault device corrupting every read, the re-read sees damaged
+// data too, so the run must fail with *IntegrityError — silent
+// corruption never reaches a kernel.
+func TestEngineIntegrityErrorUnderPersistentCorruption(t *testing.T) {
+	el := kron(t, 10, 8, 32)
+	g := convert(t, el, 6, 4)
+	opts := faultOpts(storage.FaultConfig{Seed: 7, CorruptRate: 1, CorruptBytes: 2}, 3)
+	e, err := NewEngine(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	st, err := e.Run(context.Background(), algo.NewBFS(0))
+	var ie *IntegrityError
+	if !errors.As(err, &ie) {
+		t.Fatalf("Run error = %v, want *IntegrityError", err)
+	}
+	if st == nil || st.IntegrityErrors != 1 || st.ChecksumMismatches == 0 {
+		t.Fatalf("stats = %+v, want IntegrityErrors=1 and ChecksumMismatches>0", st)
+	}
+	if st.Faults.Corruptions == 0 {
+		t.Fatalf("no corruptions recorded in fault stats: %+v", st.Faults)
+	}
+	checkNoLeakedSegments(t, e)
+}
+
+// CorruptMax=1 corrupts exactly the first read: verification catches
+// the mismatch, the single re-read comes back clean, and the run
+// completes with the correct result — the in-flight-corruption
+// recovery path, deterministically.
+func TestEngineRecoversFromTransientCorruption(t *testing.T) {
+	el := kron(t, 10, 8, 33)
+	g := convert(t, el, 6, 4)
+	opts := faultOpts(storage.FaultConfig{Seed: 8, CorruptRate: 1, CorruptMax: 1}, 3)
+	b := algo.NewBFS(0)
+	st := runAlg(t, g, opts, b)
+	want := graph.RefBFS(graph.NewCSR(el, false), 0)
+	for v, d := range b.Depths() {
+		if d != want[v] {
+			t.Fatalf("depth[%d] = %d, want %d", v, d, want[v])
+		}
+	}
+	if st.ChecksumMismatches == 0 {
+		t.Fatal("transient corruption not observed by verification")
+	}
+	if st.IntegrityErrors != 0 {
+		t.Fatalf("recovered run reported IntegrityErrors=%d", st.IntegrityErrors)
+	}
+	if st.Faults.Corruptions != 1 {
+		t.Fatalf("Corruptions = %d, want 1", st.Faults.Corruptions)
+	}
+}
+
+// v1 graphs carry no checksums: the engine must skip verification and
+// still run correctly.
+func TestEngineV1GraphSkipsVerification(t *testing.T) {
+	el := kron(t, 10, 8, 34)
+	g, err := tile.Convert(el, t.TempDir(), "g", tile.ConvertOptions{
+		TileBits: 6, GroupQ: 4, Symmetry: true, SNB: true, Degrees: true,
+		FormatVersion: tile.VersionV1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.Checksummed() {
+		t.Fatal("v1 graph reports checksums")
+	}
+	b := algo.NewBFS(0)
+	st := runAlg(t, g, smallOpts(), b)
+	want := graph.RefBFS(graph.NewCSR(el, false), 0)
+	for v, d := range b.Depths() {
+		if d != want[v] {
+			t.Fatalf("depth[%d] = %d, want %d", v, d, want[v])
+		}
+	}
+	if st.TilesVerified != 0 || st.ChecksumMismatches != 0 {
+		t.Fatalf("v1 run verified tiles: %+v", st)
+	}
+}

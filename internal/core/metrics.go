@@ -42,6 +42,12 @@ func PublishStats(r *metrics.Registry, graph string, st *Stats) {
 		"Failed or short read attempts observed.", g).Add(st.IOFailures)
 	r.Counter("gstore_engine_io_retries_total",
 		"Read requests re-submitted after a failure.", g).Add(st.Retries)
+	r.Counter("gstore_engine_tiles_verified_total",
+		"Tiles whose CRC32C was checked on the read path.", g).Add(st.TilesVerified)
+	r.Counter("gstore_engine_checksum_mismatches_total",
+		"Tile checksum mismatches observed (recovered or fatal).", g).Add(st.ChecksumMismatches)
+	r.Counter("gstore_engine_integrity_errors_total",
+		"Runs failed by persistent tile corruption.", g).Add(st.IntegrityErrors)
 	r.Counter("gstore_engine_iowait_microseconds_total",
 		"Microseconds the scheduler blocked on completions.", g).
 		Add(st.IOWait.Microseconds())
@@ -74,6 +80,8 @@ func PublishStats(r *metrics.Registry, graph string, st *Stats) {
 		"Injected read errors observed.", g).Add(st.Faults.Errors)
 	r.Counter("gstore_engine_faults_injected_shorts_total",
 		"Injected short reads observed.", g).Add(st.Faults.Shorts)
+	r.Counter("gstore_engine_faults_injected_corruptions_total",
+		"Injected silent buffer corruptions observed.", g).Add(st.Faults.Corruptions)
 
 	// Engine-lifetime cumulative counters, republished after every run.
 	r.Counter("gstore_storage_bytes_read_total",

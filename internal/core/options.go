@@ -229,6 +229,17 @@ type Stats struct {
 	IOFailures int64
 	// Retries counts read requests re-submitted after a failure.
 	Retries int64
+
+	// TilesVerified counts tiles whose CRC32C was checked on the hot
+	// read path (zero on v1 graphs, which carry no checksums).
+	TilesVerified int64
+	// ChecksumMismatches counts verification failures observed; each is
+	// retried with one re-read, so ChecksumMismatches > 0 with a nil Run
+	// error means the re-reads came back clean (in-flight corruption).
+	ChecksumMismatches int64
+	// IntegrityErrors counts runs failed by persistent corruption (a
+	// mismatch that survived the re-read); 0 or 1 per run.
+	IntegrityErrors int64
 	// Faults holds the injected-fault counters for this run when
 	// Options.Fault is set (zero otherwise).
 	Faults storage.FaultStats

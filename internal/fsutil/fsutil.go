@@ -1,0 +1,112 @@
+// Package fsutil provides crash-safe file writing: data is staged in a
+// temporary file in the destination directory, fsynced, and atomically
+// renamed over the target, followed by a directory fsync so the rename
+// itself is durable. A reader therefore observes either the old file, the
+// new file, or no file — never a torn mix. The tile converter writes every
+// graph section through this package so an interrupted conversion leaves
+// no partially-written output behind under the final name.
+package fsutil
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data: the bytes are written to
+// a temporary file next to path, synced to stable storage, renamed into
+// place, and the parent directory is synced. On error the temporary file
+// is removed and the previous content of path (if any) is untouched.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	af, err := Create(path, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := af.Write(data); err != nil {
+		af.Abort()
+		return err
+	}
+	return af.Commit()
+}
+
+// AtomicFile stages writes destined for a target path. Commit makes the
+// staged bytes visible atomically under the target name; Abort discards
+// them. Exactly one of the two must be called (Abort after Commit is a
+// no-op, so `defer af.Abort()` is a safe cleanup pattern).
+type AtomicFile struct {
+	f    *os.File
+	path string
+	done bool
+}
+
+// Create opens an atomic writer targeting path. The temporary file lives
+// in path's directory so the final rename never crosses filesystems.
+func Create(path string, perm os.FileMode) (*AtomicFile, error) {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Chmod(perm); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, err
+	}
+	return &AtomicFile{f: f, path: path}, nil
+}
+
+// Write appends to the staged file.
+func (a *AtomicFile) Write(p []byte) (int, error) { return a.f.Write(p) }
+
+// File exposes the staging file for callers that need buffered or
+// positioned writes; it must not be closed directly.
+func (a *AtomicFile) File() *os.File { return a.f }
+
+// Commit syncs the staged bytes, renames them over the target path, and
+// syncs the directory. On any failure the staging file is removed and the
+// target is left as it was.
+func (a *AtomicFile) Commit() error {
+	if a.done {
+		return fmt.Errorf("fsutil: commit on finished atomic write to %s", a.path)
+	}
+	a.done = true
+	tmp := a.f.Name()
+	if err := a.f.Sync(); err != nil {
+		a.f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fsutil: sync %s: %w", tmp, err)
+	}
+	if err := a.f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, a.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return SyncDir(filepath.Dir(a.path))
+}
+
+// Abort discards the staged bytes. Safe to call after Commit.
+func (a *AtomicFile) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	a.f.Close()
+	os.Remove(a.f.Name())
+}
+
+// SyncDir fsyncs a directory, making previously completed renames and
+// creations within it durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("fsutil: sync dir %s: %w", dir, serr)
+	}
+	return cerr
+}

@@ -1,0 +1,127 @@
+package fsutil
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	return names
+}
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "out.bin")
+
+	if err := WriteFile(p, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("first")) {
+		t.Fatalf("content = %q", got)
+	}
+
+	if err := WriteFile(p, []byte("second, longer content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(p)
+	if !bytes.Equal(got, []byte("second, longer content")) {
+		t.Fatalf("content after replace = %q", got)
+	}
+
+	// No staging debris.
+	for _, name := range listDir(t, dir) {
+		if strings.Contains(name, ".tmp") {
+			t.Fatalf("temporary file %s left behind", name)
+		}
+	}
+}
+
+func TestAbortLeavesTargetUntouched(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "keep.bin")
+	if err := WriteFile(p, []byte("original"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	af, err := Create(p, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := af.Write([]byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	af.Abort()
+	af.Abort() // idempotent
+
+	got, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "original" {
+		t.Fatalf("content after abort = %q", got)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Fatalf("directory holds %v, want only keep.bin", names)
+	}
+}
+
+func TestCommitTwiceFails(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "x")
+	af, err := Create(p, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := af.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := af.Commit(); err == nil {
+		t.Fatal("second Commit succeeded")
+	}
+	af.Abort() // no-op after commit; must not remove the target
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("target missing after post-commit Abort: %v", err)
+	}
+}
+
+func TestAtomicFileStreamed(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "big")
+	af, err := Create(p, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer af.Abort()
+	for i := 0; i < 100; i++ {
+		if _, err := af.File().Write(bytes.Repeat([]byte{byte(i)}, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := af.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 100000 {
+		t.Fatalf("size = %d", st.Size())
+	}
+	if runtimePerm := st.Mode().Perm(); runtimePerm != 0o600 {
+		t.Fatalf("perm = %o", runtimePerm)
+	}
+}

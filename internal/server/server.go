@@ -364,6 +364,8 @@ func (s *Server) run(ctx context.Context, h *GraphHandle, a algo.Algorithm) (*co
 	case err == nil:
 	case errors.As(err, new(*core.BadRequestError)):
 		status = "bad_request"
+	case errors.As(err, new(*core.IntegrityError)):
+		status = "integrity"
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		status = "canceled"
 	default:
@@ -382,12 +384,15 @@ func (s *Server) run(ctx context.Context, h *GraphHandle, a algo.Algorithm) (*co
 
 // writeRunError maps a Run error onto the right status class: request
 // errors are the client's fault (400), canceled runs mean the server is
-// going away or the client already left (503), and anything else is an
-// engine/storage failure (500).
+// going away or the client already left (503), detected tile corruption
+// is a 500 naming the damaged tile (the operator's cue to run gstore
+// fsck), and anything else is an engine/storage failure (500).
 func writeRunError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.As(err, new(*core.BadRequestError)):
 		writeError(w, http.StatusBadRequest, "%v", err)
+	case errors.As(err, new(*core.IntegrityError)):
+		writeError(w, http.StatusInternalServerError, "data integrity failure: %v", err)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusServiceUnavailable, "run canceled: %v", err)
 	default:

@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"strings"
 	"testing"
 
 	"github.com/gwu-systems/gstore/internal/core"
@@ -296,5 +299,74 @@ func TestKHopEndpoint(t *testing.T) {
 	first := cums[0].(float64)
 	if last < first {
 		t.Fatal("cumulative not monotone")
+	}
+}
+
+// A corrupted tiles file must surface as a 500 naming the damaged tile,
+// with the integrity counters visible in /metrics.
+func TestIntegrityErrorSurfacesAs500(t *testing.T) {
+	s := New()
+	t.Cleanup(s.Close)
+	opts := core.DefaultOptions()
+	opts.MemoryBytes = 2 << 20
+	opts.SegmentSize = 128 << 10
+	opts.Threads = 2
+	el, err := gen.Generate(gen.Graph500Config(9, 8, 93))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	g, err := tile.Convert(el, dir, "kron", tile.ConvertOptions{
+		TileBits: 5, GroupQ: 2, Symmetry: true, SNB: true, Degrees: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	base := tile.BasePath(dir, "kron")
+	if err := s.AddGraph("kron", base, opts); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// Flip a byte mid-file; the engine's open handle shares the inode.
+	data, err := os.ReadFile(base + ".tiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(base+".tiles", data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, out := post(t, ts.URL+"/graphs/kron/bfs", map[string]interface{}{"root": 0})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500: %v", resp.StatusCode, out)
+	}
+	msg, _ := out["error"].(string)
+	if !strings.Contains(msg, "data integrity failure") ||
+		!strings.Contains(msg, "tile") || !strings.Contains(msg, "row") {
+		t.Fatalf("error message does not name the corrupt tile: %q", msg)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mbody, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(mbody)
+	for _, want := range []string{
+		`gstore_engine_integrity_errors_total{graph="kron"} 1`,
+		`gstore_engine_checksum_mismatches_total{graph="kron"}`,
+		`status="integrity"`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
 	}
 }

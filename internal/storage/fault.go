@@ -31,16 +31,35 @@ type FaultConfig struct {
 	SlowRate float64
 	// SlowDelay is the length of one latency spike.
 	SlowDelay time.Duration
+	// CorruptRate is the probability that a read succeeds but returns
+	// silently corrupted data: CorruptBytes bytes of the buffer are
+	// XOR-flipped with nonzero masks at seeded positions — the media
+	// bit-rot the checksummed tile format exists to catch. The read
+	// itself reports success, so only checksum verification can detect
+	// the damage.
+	CorruptRate float64
+	// CorruptBytes is how many bytes each corrupted buffer has flipped
+	// (default 1, capped at the buffer length).
+	CorruptBytes int
+	// CorruptMax, when positive, caps the total number of corrupted
+	// reads the device will inject. A test that sets CorruptRate=1,
+	// CorruptMax=1 corrupts exactly the first read: the engine's one
+	// re-read then sees clean data, exercising the recovery path
+	// deterministically.
+	CorruptMax int64
 }
 
 func (c *FaultConfig) validate() error {
-	for _, p := range []float64{c.ErrorRate, c.ShortRate, c.SlowRate} {
+	for _, p := range []float64{c.ErrorRate, c.ShortRate, c.SlowRate, c.CorruptRate} {
 		if p < 0 || p > 1 {
 			return fmt.Errorf("storage: fault probability %v outside [0,1]", p)
 		}
 	}
 	if c.SlowDelay < 0 {
 		return errors.New("storage: negative fault slow delay")
+	}
+	if c.CorruptBytes < 0 || c.CorruptMax < 0 {
+		return errors.New("storage: negative corruption parameter")
 	}
 	return nil
 }
@@ -56,15 +75,18 @@ type FaultStats struct {
 	Shorts int64
 	// Slows counts latency spikes injected.
 	Slows int64
+	// Corruptions counts reads whose buffers were silently bit-flipped.
+	Corruptions int64
 }
 
 // Sub returns the counter deltas since an earlier snapshot.
 func (s FaultStats) Sub(prev FaultStats) FaultStats {
 	return FaultStats{
-		Requests: s.Requests - prev.Requests,
-		Errors:   s.Errors - prev.Errors,
-		Shorts:   s.Shorts - prev.Shorts,
-		Slows:    s.Slows - prev.Slows,
+		Requests:    s.Requests - prev.Requests,
+		Errors:      s.Errors - prev.Errors,
+		Shorts:      s.Shorts - prev.Shorts,
+		Slows:       s.Slows - prev.Slows,
+		Corruptions: s.Corruptions - prev.Corruptions,
 	}
 }
 
@@ -96,6 +118,47 @@ var _ Device = (*FaultDevice)(nil)
 type faultPending struct {
 	tag   int64
 	delay time.Duration
+	// buf and flips describe a silent-corruption injection: once the
+	// inner read lands, buf[flips[i].off] is XORed with the (nonzero)
+	// mask, guaranteeing the returned data differs from the media.
+	buf   []byte
+	flips []flip
+}
+
+type flip struct {
+	off  int
+	mask byte
+}
+
+// drawFlips decides one request's corruption. Caller holds f.mu.
+func (f *FaultDevice) drawFlips(buf []byte) []flip {
+	if len(buf) == 0 || !f.roll(f.cfg.CorruptRate) {
+		return nil
+	}
+	if f.cfg.CorruptMax > 0 && f.stats.Corruptions >= f.cfg.CorruptMax {
+		return nil
+	}
+	f.stats.Corruptions++
+	nb := f.cfg.CorruptBytes
+	if nb <= 0 {
+		nb = 1
+	}
+	if nb > len(buf) {
+		nb = len(buf)
+	}
+	flips := make([]flip, nb)
+	for i := range flips {
+		flips[i] = flip{off: f.rng.Intn(len(buf)), mask: byte(1 + f.rng.Intn(255))}
+	}
+	return flips
+}
+
+func applyFlips(buf []byte, flips []flip, n int) {
+	for _, fl := range flips {
+		if fl.off < n {
+			buf[fl.off] ^= fl.mask
+		}
+	}
 }
 
 // NewFaultDevice wraps inner. It takes ownership: Close closes inner.
@@ -161,6 +224,9 @@ func (f *FaultDevice) run() {
 			if p.delay > 0 {
 				time.Sleep(p.delay)
 			}
+			if c.Err == nil {
+				applyFlips(p.buf, p.flips, c.N)
+			}
 			f.completions <- Completion{Tag: p.tag, N: c.N, Err: c.Err}
 		}
 	}
@@ -192,8 +258,9 @@ func (f *FaultDevice) Submit(reqs []*Request) error {
 			f.stats.Slows++
 			delay = f.cfg.SlowDelay
 		}
+		flips := f.drawFlips(buf)
 		id := f.nextID.Add(1)
-		f.pending.Store(id, faultPending{tag: r.Tag, delay: delay})
+		f.pending.Store(id, faultPending{tag: r.Tag, delay: delay, buf: buf, flips: flips})
 		fwd = append(fwd, &Request{Offset: r.Offset, Buf: buf, Tag: id})
 	}
 	f.mu.Unlock()
@@ -250,6 +317,10 @@ func (f *FaultDevice) ReadSync(offset int64, buf []byte) error {
 		f.stats.Slows++
 		delay = f.cfg.SlowDelay
 	}
+	var flips []flip
+	if !fail && short == 0 {
+		flips = f.drawFlips(buf)
+	}
 	if fail {
 		f.stats.Errors++
 	}
@@ -267,7 +338,11 @@ func (f *FaultDevice) ReadSync(offset int64, buf []byte) error {
 		return fmt.Errorf("storage: injected short read (%d of %d bytes): %w",
 			short, len(buf), ErrInjected)
 	}
-	return f.inner.ReadSync(offset, buf)
+	if err := f.inner.ReadSync(offset, buf); err != nil {
+		return err
+	}
+	applyFlips(buf, flips, len(buf))
+	return nil
 }
 
 // Stats implements Device, forwarding the inner device's counters.

@@ -169,6 +169,116 @@ func TestFaultDeviceReadSync(t *testing.T) {
 	}
 }
 
+func TestFaultDeviceCorruption(t *testing.T) {
+	src := newMemSource(1 << 16)
+	f := newFault(t, src, FaultConfig{Seed: 11, CorruptRate: 1, CorruptBytes: 3})
+	defer f.Close()
+	reqs := []*Request{{Offset: 0, Buf: make([]byte, 512), Tag: 1}}
+	if err := f.Submit(reqs); err != nil {
+		t.Fatal(err)
+	}
+	comps := f.Wait(1, nil)
+	if len(comps) != 1 || comps[0].Err != nil || comps[0].N != 512 {
+		t.Fatalf("corrupted read must still report success: %+v", comps)
+	}
+	if bytes.Equal(reqs[0].Buf, src.data[:512]) {
+		t.Fatal("buffer not corrupted at CorruptRate 1")
+	}
+	diff := 0
+	for i := range reqs[0].Buf {
+		if reqs[0].Buf[i] != src.data[i] {
+			diff++
+		}
+	}
+	if diff > 3 {
+		t.Fatalf("%d bytes differ, want at most CorruptBytes=3", diff)
+	}
+	if st := f.FaultStats(); st.Corruptions != 1 {
+		t.Fatalf("Corruptions = %d, want 1", st.Corruptions)
+	}
+}
+
+func TestFaultDeviceCorruptionReadSync(t *testing.T) {
+	src := newMemSource(1 << 16)
+	f := newFault(t, src, FaultConfig{Seed: 12, CorruptRate: 1})
+	defer f.Close()
+	buf := make([]byte, 256)
+	if err := f.ReadSync(0, buf); err != nil {
+		t.Fatalf("corrupted ReadSync must report success: %v", err)
+	}
+	if bytes.Equal(buf, src.data[:256]) {
+		t.Fatal("ReadSync buffer not corrupted at CorruptRate 1")
+	}
+	if st := f.FaultStats(); st.Corruptions != 1 {
+		t.Fatalf("Corruptions = %d, want 1", st.Corruptions)
+	}
+}
+
+// CorruptMax=1 corrupts exactly the first read; the second read of the
+// same range is clean. This is the deterministic recovery scenario the
+// engine's re-read path relies on.
+func TestFaultDeviceCorruptMax(t *testing.T) {
+	src := newMemSource(1 << 16)
+	f := newFault(t, src, FaultConfig{Seed: 13, CorruptRate: 1, CorruptMax: 1})
+	defer f.Close()
+	buf := make([]byte, 256)
+	if err := f.ReadSync(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf, src.data[:256]) {
+		t.Fatal("first read not corrupted")
+	}
+	if err := f.ReadSync(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, src.data[:256]) {
+		t.Fatal("second read corrupted despite CorruptMax=1")
+	}
+	if st := f.FaultStats(); st.Corruptions != 1 {
+		t.Fatalf("Corruptions = %d, want 1", st.Corruptions)
+	}
+}
+
+// Corruption decisions must be deterministic for a fixed seed: two
+// identical runs flip identical bytes.
+func TestFaultDeviceCorruptionDeterministic(t *testing.T) {
+	run := func() []byte {
+		src := newMemSource(1 << 16)
+		f := newFault(t, src, FaultConfig{Seed: 21, CorruptRate: 0.5, CorruptBytes: 2})
+		defer f.Close()
+		out := make([]byte, 0, 16*64)
+		for i := 0; i < 16; i++ {
+			buf := make([]byte, 64)
+			if err := f.ReadSync(int64(i*64), buf); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, buf...)
+		}
+		return out
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("corruption pattern differs between identical seeded runs")
+	}
+}
+
+func TestFaultConfigCorruptValidation(t *testing.T) {
+	src := newMemSource(1024)
+	inner, err := NewArray(src, Options{NumDisks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	if _, err := NewFaultDevice(inner, FaultConfig{CorruptRate: -0.1}); err == nil {
+		t.Fatal("negative CorruptRate accepted")
+	}
+	if _, err := NewFaultDevice(inner, FaultConfig{CorruptBytes: -1}); err == nil {
+		t.Fatal("negative CorruptBytes accepted")
+	}
+	if _, err := NewFaultDevice(inner, FaultConfig{CorruptMax: -1}); err == nil {
+		t.Fatal("negative CorruptMax accepted")
+	}
+}
+
 func TestFaultDeviceSetConfig(t *testing.T) {
 	src := newMemSource(1 << 16)
 	f := newFault(t, src, FaultConfig{Seed: 7, ErrorRate: 1})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/gwu-systems/gstore/internal/fsutil"
 	"github.com/gwu-systems/gstore/internal/graph"
 	"github.com/gwu-systems/gstore/internal/grid"
 )
@@ -26,6 +27,22 @@ type ConvertOptions struct {
 	SNB bool
 	// Degrees writes the degree file alongside the graph.
 	Degrees bool
+	// FormatVersion selects the on-disk format: 0 means the current
+	// Version (v2, checksummed); VersionV1 writes the legacy layout
+	// without checksums for compatibility testing.
+	FormatVersion int
+}
+
+// formatVersion resolves FormatVersion, validating the choice.
+func (o ConvertOptions) formatVersion() (int, error) {
+	switch o.FormatVersion {
+	case 0, Version:
+		return Version, nil
+	case VersionV1:
+		return VersionV1, nil
+	default:
+		return 0, fmt.Errorf("tile: cannot write format version %d", o.FormatVersion)
+	}
 }
 
 // DefaultConvertOptions returns the paper's configuration.
@@ -87,8 +104,12 @@ func Convert(el *graph.EdgeList, dir, name string, opts ConvertOptions) (*Graph,
 		}
 	})
 
+	ver, err := opts.formatVersion()
+	if err != nil {
+		return nil, err
+	}
 	m := &Meta{
-		Magic: Magic, Version: Version, Name: name,
+		Magic: Magic, Version: ver, Name: name,
 		NumVertices: el.NumVertices,
 		NumStored:   numStored,
 		NumOriginal: int64(len(el.Edges)),
@@ -104,30 +125,48 @@ func Convert(el *graph.EdgeList, dir, name string, opts ConvertOptions) (*Graph,
 	}
 	base := BasePath(dir, name)
 
+	// All sections are written crash-safely (tmp + fsync + rename), the
+	// meta header last: a crash at any point leaves either no meta (graph
+	// absent) or a meta whose manifest matches fully written sections.
+	var degData []byte
 	if opts.Degrees {
 		deg := el.OutDegrees()
 		if t, err := EncodeDegrees(deg); err == nil {
 			m.DegreeFormat = "compact"
-			if err := os.WriteFile(degPath(base), encodeDegreeFile(t), 0o644); err != nil {
-				return nil, err
-			}
+			degData = encodeDegreeFile(t)
 		} else if err == ErrDegreeOverflow {
 			m.DegreeFormat = "plain"
-			if err := os.WriteFile(degPath(base), encodePlainDegreeFile(deg), 0o644); err != nil {
-				return nil, err
-			}
+			degData = encodePlainDegreeFile(deg)
 		} else {
 			return nil, err
 		}
+		if err := fsutil.WriteFile(degPath(base), degData, 0o644); err != nil {
+			return nil, err
+		}
 	}
-
+	startData := encodeStart(start)
+	if err := fsutil.WriteFile(tilesPath(base), data, 0o644); err != nil {
+		return nil, err
+	}
+	if err := fsutil.WriteFile(startPath(base), startData, 0o644); err != nil {
+		return nil, err
+	}
+	if ver >= Version {
+		crcData := encodeTileCRCs(tileChecksums(data, start, tupleBytes))
+		if err := fsutil.WriteFile(crcPath(base), crcData, 0o644); err != nil {
+			return nil, err
+		}
+		m.Manifest = &Manifest{
+			Start:   sumBytes(startData),
+			Tiles:   sumBytes(data),
+			TileCRC: sumBytes(crcData),
+		}
+		if degData != nil {
+			s := sumBytes(degData)
+			m.Manifest.Deg = &s
+		}
+	}
 	if err := writeMeta(base, m); err != nil {
-		return nil, err
-	}
-	if err := writeStart(startPath(base), start); err != nil {
-		return nil, err
-	}
-	if err := os.WriteFile(tilesPath(base), data, 0o644); err != nil {
 		return nil, err
 	}
 	return Open(base)

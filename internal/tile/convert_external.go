@@ -4,10 +4,12 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
 
+	"github.com/gwu-systems/gstore/internal/fsutil"
 	"github.com/gwu-systems/gstore/internal/graph"
 	"github.com/gwu-systems/gstore/internal/grid"
 )
@@ -171,13 +173,26 @@ func ConvertExternal(edgePath string, numVertices uint32, directed bool,
 		}
 	}
 
-	// Scatter each bucket in memory and append to the tiles file.
-	base := BasePath(dir, name)
-	out, err := os.Create(tilesPath(base))
+	ver, err := opts.formatVersion()
 	if err != nil {
 		return nil, err
 	}
-	ow := bufio.NewWriterSize(out, 1<<20)
+
+	// Scatter each bucket in memory and append to the tiles file. The
+	// output is staged in a temporary file and renamed into place only
+	// once fully written and fsynced, so a crash mid-scatter leaves no
+	// torn tiles file; per-tile CRC32C checksums and the whole-file
+	// digest are computed from the same in-memory buckets as they are
+	// written, costing no extra read pass.
+	base := BasePath(dir, name)
+	out, err := fsutil.Create(tilesPath(base), 0o644)
+	if err != nil {
+		return nil, err
+	}
+	defer out.Abort()
+	ow := bufio.NewWriterSize(out.File(), 1<<20)
+	tilesHash := crc32.New(castagnoli)
+	crcs := make([]uint32, nt)
 	next := make([]int64, nt)
 	for bi, b := range buckets {
 		buf := make([]byte, b.bytes)
@@ -187,7 +202,6 @@ func ConvertExternal(edgePath string, numVertices uint32, directed bool,
 		}
 		f, err := os.Open(filepath.Join(spillDir, fmt.Sprintf("b%d", bi)))
 		if err != nil {
-			out.Close()
 			return nil, err
 		}
 		r := bufio.NewReaderSize(f, 1<<20)
@@ -197,7 +211,6 @@ func ConvertExternal(edgePath string, numVertices uint32, directed bool,
 					break
 				}
 				f.Close()
-				out.Close()
 				return nil, fmt.Errorf("tile: corrupt spill file %d: %w", bi, err)
 			}
 			di := int(binary.LittleEndian.Uint32(rec[0:4]))
@@ -206,21 +219,23 @@ func ConvertExternal(edgePath string, numVertices uint32, directed bool,
 			copy(buf[at:at+tupleBytes], rec[4:4+tupleBytes])
 		}
 		f.Close()
+		for i := b.loTile; i < b.hiTile; i++ {
+			crcs[i] = Checksum(buf[(start[i]-baseTuples)*tupleBytes : (start[i+1]-baseTuples)*tupleBytes])
+		}
+		tilesHash.Write(buf)
 		if _, err := ow.Write(buf); err != nil {
-			out.Close()
 			return nil, err
 		}
 	}
 	if err := ow.Flush(); err != nil {
-		out.Close()
 		return nil, err
 	}
-	if err := out.Close(); err != nil {
+	if err := out.Commit(); err != nil {
 		return nil, err
 	}
 
 	m := &Meta{
-		Magic: Magic, Version: Version, Name: name,
+		Magic: Magic, Version: ver, Name: name,
 		NumVertices: numVertices,
 		NumStored:   numStored,
 		NumOriginal: original,
@@ -230,25 +245,42 @@ func ConvertExternal(edgePath string, numVertices uint32, directed bool,
 		Half:        half,
 		SNB:         opts.SNB,
 	}
+	var degData []byte
 	if degrees != nil {
 		if t, err := EncodeDegrees(degrees); err == nil {
 			m.DegreeFormat = "compact"
-			if err := os.WriteFile(degPath(base), encodeDegreeFile(t), 0o644); err != nil {
-				return nil, err
-			}
+			degData = encodeDegreeFile(t)
 		} else if err == ErrDegreeOverflow {
 			m.DegreeFormat = "plain"
-			if err := os.WriteFile(degPath(base), encodePlainDegreeFile(degrees), 0o644); err != nil {
-				return nil, err
-			}
+			degData = encodePlainDegreeFile(degrees)
 		} else {
 			return nil, err
 		}
+		if err := fsutil.WriteFile(degPath(base), degData, 0o644); err != nil {
+			return nil, err
+		}
 	}
-	if err := writeMeta(base, m); err != nil {
+	startData := encodeStart(start)
+	if err := fsutil.WriteFile(startPath(base), startData, 0o644); err != nil {
 		return nil, err
 	}
-	if err := writeStart(startPath(base), start); err != nil {
+	if ver >= Version {
+		crcData := encodeTileCRCs(crcs)
+		if err := fsutil.WriteFile(crcPath(base), crcData, 0o644); err != nil {
+			return nil, err
+		}
+		m.Manifest = &Manifest{
+			Start:   sumBytes(startData),
+			Tiles:   SectionSum{Bytes: numStored * tupleBytes, CRC32C: tilesHash.Sum32()},
+			TileCRC: sumBytes(crcData),
+		}
+		if degData != nil {
+			s := sumBytes(degData)
+			m.Manifest.Deg = &s
+		}
+	}
+	// Meta last: the commit point of the conversion.
+	if err := writeMeta(base, m); err != nil {
 		return nil, err
 	}
 	return Open(base)

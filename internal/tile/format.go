@@ -3,29 +3,44 @@
 // the start-edge index, the compact degree encoding, and the two-pass
 // converter from edge lists.
 //
-// A converted graph is a directory of four files sharing a base name:
+// A converted graph is a directory of files sharing a base name:
 //
-//	<name>.meta  — JSON header (vertex/edge counts, tile bits, flags)
+//	<name>.meta  — JSON header (vertex/edge counts, tile bits, flags, the
+//	               v2 section manifest) followed by a checksum trailer
 //	<name>.start — int64 per stored tile: prefix sums of edge counts,
 //	               NumTiles+1 entries (the paper's start-edge file)
 //	<name>.tiles — all tile tuples concatenated in physical-group disk
 //	               order (§V-A)
+//	<name>.crc   — format v2: one CRC32C per stored tile, disk order
 //	<name>.deg   — optional degree array in the 2-byte escape encoding
 //	               of §IV-C
+//
+// All converter outputs are written crash-safely (tmp file + fsync +
+// atomic rename, meta last), so an interrupted conversion leaves either a
+// fully valid graph or no graph — never a torn one. Format v1 graphs
+// (no .crc, no manifest, no meta trailer) still open read-compatibly with
+// checksum verification disabled and a logged warning.
 package tile
 
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
+
+	"github.com/gwu-systems/gstore/internal/fsutil"
 )
 
 // Magic identifies G-Store metadata files.
 const Magic = "GSTORE-TILES"
 
-// Version is the current format version.
-const Version = 1
+// Version is the current format version: v2 adds per-tile CRC32C
+// checksums, the section manifest, and the meta checksum trailer.
+const Version = 2
+
+// VersionV1 is the legacy checksum-free format, still readable.
+const VersionV1 = 1
 
 // SNBTupleBytes is the on-disk tuple size with the SNB representation:
 // two 16-bit in-tile offsets (§IV-B).
@@ -57,6 +72,9 @@ type Meta struct {
 	SNB bool `json:"snb"`
 	// DegreeFormat is "", "compact" (§IV-C) or "plain".
 	DegreeFormat string `json:"degree_format,omitempty"`
+	// Manifest records each section file's byte length and whole-file
+	// CRC32C digest. Required for version >= 2; absent in v1 headers.
+	Manifest *Manifest `json:"manifest,omitempty"`
 }
 
 // TupleBytes returns the per-tuple on-disk size.
@@ -72,8 +90,11 @@ func (m *Meta) Validate() error {
 	switch {
 	case m.Magic != Magic:
 		return fmt.Errorf("tile: bad magic %q", m.Magic)
-	case m.Version != Version:
-		return fmt.Errorf("tile: unsupported version %d", m.Version)
+	case m.Version != Version && m.Version != VersionV1:
+		return fmt.Errorf("tile: unsupported version %d (this build reads v%d and v%d)",
+			m.Version, VersionV1, Version)
+	case m.Version >= Version && m.Manifest == nil:
+		return fmt.Errorf("tile: v%d header without a section manifest", m.Version)
 	case m.NumVertices == 0:
 		return fmt.Errorf("tile: zero vertices")
 	case m.TileBits == 0 || m.TileBits > 16:
@@ -91,14 +112,23 @@ func (m *Meta) Validate() error {
 func metaPath(p string) string  { return p + ".meta" }
 func startPath(p string) string { return p + ".start" }
 func tilesPath(p string) string { return p + ".tiles" }
+func crcPath(p string) string   { return p + ".crc" }
 func degPath(p string) string   { return p + ".deg" }
 
+// writeMeta serializes the header, appends the v2 checksum trailer, and
+// writes it atomically. The meta file is the commit point of a
+// conversion: it is written last, so its presence implies every section
+// it names was already durably written.
 func writeMeta(p string, m *Meta) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(metaPath(p), append(data, '\n'), 0o644)
+	data = append(data, '\n')
+	if m.Version >= Version {
+		data = signMeta(data)
+	}
+	return fsutil.WriteFile(metaPath(p), data, 0o644)
 }
 
 func readMeta(p string) (*Meta, error) {
@@ -106,15 +136,30 @@ func readMeta(p string) (*Meta, error) {
 	if err != nil {
 		return nil, err
 	}
+	payload, sum, signed := splitMetaTrailer(data)
+	if signed {
+		if got := Checksum(payload); got != sum {
+			return nil, fmt.Errorf("tile: meta %s checksum %08x does not match trailer %08x (corrupt header)",
+				metaPath(p), got, sum)
+		}
+	}
 	var m Meta
-	if err := json.Unmarshal(data, &m); err != nil {
+	if err := json.Unmarshal(payload, &m); err != nil {
 		return nil, fmt.Errorf("tile: corrupt meta %s: %w", metaPath(p), err)
 	}
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	if m.Version >= Version && !signed {
+		return nil, fmt.Errorf("tile: meta %s is v%d but has no checksum trailer (truncated header)",
+			metaPath(p), m.Version)
+	}
 	return &m, nil
 }
+
+// warnf lets tests capture the v1 compatibility warning; it defaults to
+// the standard logger.
+var warnf = log.Printf
 
 // BasePath joins dir and name into the base path used by Create/Open.
 func BasePath(dir, name string) string { return filepath.Join(dir, name) }

@@ -1,0 +1,273 @@
+package tile
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/gwu-systems/gstore/internal/grid"
+)
+
+// FsckFinding is one problem discovered by Fsck.
+type FsckFinding struct {
+	// Section names the damaged file: "meta", "start", "tiles", "crc" or
+	// "deg".
+	Section string
+	// Tile is the disk index of the corrupt tile for tile-granular
+	// findings, -1 otherwise.
+	Tile int
+	// Detail is a human-readable description.
+	Detail string
+}
+
+func (f FsckFinding) String() string {
+	if f.Tile >= 0 {
+		return fmt.Sprintf("%s: tile %d: %s", f.Section, f.Tile, f.Detail)
+	}
+	return fmt.Sprintf("%s: %s", f.Section, f.Detail)
+}
+
+// FsckReport is the result of an offline integrity check.
+type FsckReport struct {
+	Base        string
+	Version     int
+	Checksummed bool
+	// TilesChecked counts tiles whose per-tile CRC32C was verified.
+	TilesChecked int
+	// TuplesChecked counts tuples whose endpoints were range-validated.
+	TuplesChecked int64
+	Findings      []FsckFinding
+	// Truncated is set when the findings list hit its cap and further
+	// problems were suppressed.
+	Truncated bool
+}
+
+// OK reports whether the graph passed every applicable check.
+func (r *FsckReport) OK() bool { return len(r.Findings) == 0 && !r.Truncated }
+
+// maxFsckFindings bounds the report so a wholly scrambled multi-terabyte
+// graph cannot balloon memory; the cap is noted in the report.
+const maxFsckFindings = 64
+
+func (r *FsckReport) add(section string, tileIdx int, format string, args ...interface{}) {
+	if len(r.Findings) >= maxFsckFindings {
+		r.Truncated = true
+		return
+	}
+	r.Findings = append(r.Findings, FsckFinding{
+		Section: section, Tile: tileIdx, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Fsck validates the graph stored at base path p offline and reports
+// every problem it can find rather than stopping at the first:
+//
+//   - meta: readable, checksum trailer intact (v2), JSON valid, header
+//     invariants hold
+//   - start: manifest length+digest (v2), entries non-negative and
+//     monotone from zero, final entry matching the meta edge count
+//   - crc: manifest length+digest (v2)
+//   - tiles: file size, whole-file digest (v2), then per-tile: CRC32C
+//     against the sidecar (v2) and every decoded tuple inside its tile's
+//     vertex ranges
+//   - deg: manifest length+digest (v2), decodable, and in agreement with
+//     the degrees recounted from the tuples
+//
+// Unlike Open, Fsck never trusts one section to validate another: a
+// corrupt start index does not prevent the tiles file's whole-file digest
+// from being checked. It works on v1 graphs too, skipping the checksum
+// layers (Checksummed reports false in that case).
+func Fsck(p string) *FsckReport {
+	r := &FsckReport{Base: p}
+
+	// --- meta ---------------------------------------------------------
+	data, err := os.ReadFile(metaPath(p))
+	if err != nil {
+		r.add("meta", -1, "unreadable: %v", err)
+		return r
+	}
+	payload, sum, signed := splitMetaTrailer(data)
+	if signed {
+		if got := Checksum(payload); got != sum {
+			r.add("meta", -1, "checksum %08x does not match trailer %08x (corrupt header)", got, sum)
+			return r
+		}
+	}
+	var m Meta
+	if err := json.Unmarshal(payload, &m); err != nil {
+		r.add("meta", -1, "corrupt JSON: %v", err)
+		return r
+	}
+	if err := m.Validate(); err != nil {
+		r.add("meta", -1, "invalid header: %v", err)
+		return r
+	}
+	if m.Version >= Version && !signed {
+		r.add("meta", -1, "v%d header has no checksum trailer (truncated)", m.Version)
+		return r
+	}
+	r.Version = m.Version
+	r.Checksummed = m.Version >= Version
+	layout, err := grid.New(m.NumVertices, m.TileBits, m.GroupQ, !m.Directed && m.Half)
+	if err != nil {
+		r.add("meta", -1, "layout: %v", err)
+		return r
+	}
+	nt := layout.NumTiles()
+	tb := m.TupleBytes()
+
+	// --- start --------------------------------------------------------
+	var start []int64
+	if sdata, err := os.ReadFile(startPath(p)); err != nil {
+		r.add("start", -1, "unreadable: %v", err)
+	} else {
+		if r.Checksummed {
+			if err := m.Manifest.Start.check("start-edge file", sumBytes(sdata)); err != nil {
+				r.add("start", -1, "%v", err)
+			}
+		}
+		if s, err := parseStart(sdata, startPath(p), nt); err != nil {
+			r.add("start", -1, "%v", err)
+		} else if s[nt] != m.NumStored {
+			r.add("start", -1, "ends at %d tuples, meta says %d", s[nt], m.NumStored)
+		} else {
+			start = s
+		}
+	}
+
+	// --- crc sidecar --------------------------------------------------
+	var tileCRC []uint32
+	if r.Checksummed {
+		if cdata, err := os.ReadFile(crcPath(p)); err != nil {
+			r.add("crc", -1, "unreadable: %v", err)
+		} else {
+			if err := m.Manifest.TileCRC.check("tile checksum file", sumBytes(cdata)); err != nil {
+				r.add("crc", -1, "%v", err)
+			} else if c, err := decodeTileCRCs(cdata, nt); err != nil {
+				r.add("crc", -1, "%v", err)
+			} else {
+				tileCRC = c
+			}
+		}
+	}
+
+	// --- tiles --------------------------------------------------------
+	var deg []uint32
+	if m.DegreeFormat != "" {
+		deg = make([]uint32, m.NumVertices)
+	}
+	tf, err := os.Open(tilesPath(p))
+	if err != nil {
+		r.add("tiles", -1, "unreadable: %v", err)
+	} else {
+		func() {
+			defer tf.Close()
+			st, err := tf.Stat()
+			if err != nil {
+				r.add("tiles", -1, "stat: %v", err)
+				return
+			}
+			if want := m.NumStored * tb; st.Size() != want {
+				r.add("tiles", -1, "file is %d bytes, want %d (%d tuples × %d bytes)",
+					st.Size(), want, m.NumStored, tb)
+				return
+			}
+			if r.Checksummed {
+				got, err := fileSum(tilesPath(p))
+				if err != nil {
+					r.add("tiles", -1, "digest: %v", err)
+				} else if err := m.Manifest.Tiles.check("tiles file", got); err != nil {
+					r.add("tiles", -1, "%v", err)
+				}
+			}
+			if start == nil {
+				return // cannot locate individual tiles without the index
+			}
+			var buf []byte
+			for i := 0; i < nt; i++ {
+				n := (start[i+1] - start[i]) * tb
+				if int64(cap(buf)) < n {
+					buf = make([]byte, n)
+				}
+				b := buf[:n]
+				if n > 0 {
+					if _, err := tf.ReadAt(b, start[i]*tb); err != nil {
+						r.add("tiles", i, "read: %v", err)
+						continue
+					}
+				}
+				if tileCRC != nil {
+					if got := Checksum(b); got != tileCRC[i] {
+						c := layout.CoordAt(i)
+						r.add("tiles", i, "crc32c %08x, want %08x (row %d, col %d)",
+							got, tileCRC[i], c.Row, c.Col)
+						continue
+					}
+					r.TilesChecked++
+				}
+				co := layout.CoordAt(i)
+				rLo, rHi := layout.VertexRange(co.Row)
+				cLo, cHi := layout.VertexRange(co.Col)
+				bad := -1
+				idx := 0
+				err := DecodeTuples(b, m.SNB, rLo, cLo, func(s, d uint32) {
+					if bad < 0 && (s < rLo || s >= rHi || d < cLo || d >= cHi ||
+						s >= m.NumVertices || d >= m.NumVertices) {
+						bad = idx
+					}
+					if deg != nil && s < m.NumVertices && d < m.NumVertices {
+						deg[s]++
+						if !m.Directed && m.Half && s != d {
+							deg[d]++
+						}
+					}
+					idx++
+				})
+				r.TuplesChecked += int64(idx)
+				switch {
+				case err != nil:
+					r.add("tiles", i, "undecodable: %v", err)
+				case bad >= 0:
+					r.add("tiles", i, "tuple %d outside tile ranges (row %d, col %d)",
+						bad, co.Row, co.Col)
+				}
+			}
+		}()
+	}
+
+	// --- deg ----------------------------------------------------------
+	if m.DegreeFormat != "" {
+		if ddata, err := os.ReadFile(degPath(p)); err != nil {
+			r.add("deg", -1, "unreadable: %v", err)
+		} else {
+			if r.Checksummed && m.Manifest.Deg != nil {
+				if err := m.Manifest.Deg.check("degree file", sumBytes(ddata)); err != nil {
+					r.add("deg", -1, "%v", err)
+				}
+			}
+			src, err := decodeDegreeFile(ddata, int(m.NumVertices), m.DegreeFormat)
+			switch {
+			case err != nil:
+				r.add("deg", -1, "undecodable: %v", err)
+			case deg != nil && start != nil && !hasTileFindings(r):
+				// Degree agreement is only meaningful over intact tuples;
+				// with tile-level damage the recount is itself suspect.
+				for v := uint32(0); v < m.NumVertices; v++ {
+					if got := src.Degree(v); got != deg[v] {
+						r.add("deg", -1, "vertex %d: degree file says %d, tuples say %d", v, got, deg[v])
+					}
+				}
+			}
+		}
+	}
+	return r
+}
+
+func hasTileFindings(r *FsckReport) bool {
+	for _, f := range r.Findings {
+		if f.Section == "tiles" || f.Section == "start" {
+			return true
+		}
+	}
+	return false
+}

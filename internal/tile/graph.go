@@ -18,11 +18,19 @@ type Graph struct {
 	// [Start[i], Start[i+1]) of the tiles file.
 	Start []int64
 
-	base  string
-	tiles *os.File
+	base    string
+	tiles   *os.File
+	tileCRC []uint32 // per-tile CRC32C, disk order; nil for v1 graphs
 }
 
 // Open opens the graph stored at base path p (as produced by Convert).
+//
+// For v2 graphs every small section is verified against the manifest
+// before use: the meta trailer, the start-edge file's length and digest,
+// and the checksum sidecar's length and digest. The tiles file is only
+// size-checked here — its contents are verified tile-by-tile on the read
+// path (and exhaustively by Fsck). v1 graphs open with checksum
+// verification disabled and a logged warning.
 func Open(p string) (*Graph, error) {
 	m, err := readMeta(p)
 	if err != nil {
@@ -33,13 +41,39 @@ func Open(p string) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	start, err := readStart(startPath(p), layout.NumTiles())
+	nt := layout.NumTiles()
+
+	sdata, err := os.ReadFile(startPath(p))
+	if err != nil {
+		return nil, err
+	}
+	var tileCRC []uint32
+	if m.Version >= Version {
+		if err := m.Manifest.Start.check("start-edge file", sumBytes(sdata)); err != nil {
+			return nil, err
+		}
+		cdata, err := os.ReadFile(crcPath(p))
+		if err != nil {
+			return nil, fmt.Errorf("tile: v2 graph missing checksum sidecar: %w", err)
+		}
+		if err := m.Manifest.TileCRC.check("tile checksum file", sumBytes(cdata)); err != nil {
+			return nil, err
+		}
+		if tileCRC, err = decodeTileCRCs(cdata, nt); err != nil {
+			return nil, err
+		}
+	} else {
+		warnf("tile: %s: legacy v%d format, checksum verification disabled (re-convert for end-to-end integrity)",
+			p, m.Version)
+	}
+	start, err := parseStart(sdata, startPath(p), nt)
 	if err != nil {
 		return nil, err
 	}
 	if got := start[len(start)-1]; got != m.NumStored {
 		return nil, fmt.Errorf("tile: start-edge file ends at %d tuples, meta says %d", got, m.NumStored)
 	}
+
 	f, err := os.Open(tilesPath(p))
 	if err != nil {
 		return nil, err
@@ -49,12 +83,26 @@ func Open(p string) (*Graph, error) {
 		f.Close()
 		return nil, err
 	}
-	if want := m.NumStored * m.TupleBytes(); st.Size() != want {
+	if want := start[len(start)-1] * m.TupleBytes(); st.Size() != want {
 		f.Close()
-		return nil, fmt.Errorf("tile: tiles file is %d bytes, want %d", st.Size(), want)
+		return nil, fmt.Errorf("tile: tiles file is %d bytes but the start-edge index ends at %d tuples (%d bytes)",
+			st.Size(), start[len(start)-1], want)
 	}
-	return &Graph{Meta: m, Layout: layout, Start: start, base: p, tiles: f}, nil
+	if m.Version >= Version && m.Manifest.Tiles.Bytes != st.Size() {
+		f.Close()
+		return nil, fmt.Errorf("tile: tiles file is %d bytes, manifest says %d",
+			st.Size(), m.Manifest.Tiles.Bytes)
+	}
+	return &Graph{Meta: m, Layout: layout, Start: start, base: p, tiles: f, tileCRC: tileCRC}, nil
 }
+
+// Checksummed reports whether the graph carries per-tile CRC32C
+// checksums (format v2).
+func (g *Graph) Checksummed() bool { return g.tileCRC != nil }
+
+// TileChecksum returns the recorded CRC32C of the tile at disk index i.
+// Only meaningful when Checksummed reports true.
+func (g *Graph) TileChecksum(i int) uint32 { return g.tileCRC[i] }
 
 // Close releases the underlying file handle.
 func (g *Graph) Close() error {
@@ -83,7 +131,9 @@ func (g *Graph) TileByteRange(i int) (off, n int64) {
 }
 
 // ReadTile reads tile i synchronously, appending to buf (which may be
-// nil), and returns the tile's data.
+// nil), and returns the tile's data. On a v2 graph the data is verified
+// against the tile's recorded CRC32C; a mismatch returns a
+// *ChecksumError.
 func (g *Graph) ReadTile(i int, buf []byte) ([]byte, error) {
 	off, n := g.TileByteRange(i)
 	if cap(buf) < int(n) {
@@ -95,6 +145,11 @@ func (g *Graph) ReadTile(i int, buf []byte) ([]byte, error) {
 	}
 	if _, err := g.tiles.ReadAt(buf, off); err != nil {
 		return nil, fmt.Errorf("tile: reading tile %d: %w", i, err)
+	}
+	if g.tileCRC != nil {
+		if got := Checksum(buf); got != g.tileCRC[i] {
+			return nil, &ChecksumError{Tile: i, Want: g.tileCRC[i], Got: got}
+		}
 	}
 	return buf, nil
 }
@@ -128,7 +183,9 @@ func (g *Graph) DataBytes() int64 { return g.Meta.NumStored * g.Meta.TupleBytes(
 func (g *Graph) StartBytes() int64 { return int64(len(g.Start)) * 8 }
 
 // Degrees loads the degree file and returns a DegreeSource: the compact
-// table for "compact" format, a plain array for the fallback.
+// table for "compact" format, a plain array for the fallback. On a v2
+// graph the file's length and CRC32C are verified against the manifest
+// before decoding.
 func (g *Graph) Degrees() (DegreeSource, error) {
 	switch g.Meta.DegreeFormat {
 	case "":
@@ -141,6 +198,11 @@ func (g *Graph) Degrees() (DegreeSource, error) {
 	if err != nil {
 		return nil, err
 	}
+	if g.Meta.Version >= Version && g.Meta.Manifest.Deg != nil {
+		if err := g.Meta.Manifest.Deg.check("degree file", sumBytes(data)); err != nil {
+			return nil, err
+		}
+	}
 	return decodeDegreeFile(data, int(g.Meta.NumVertices), g.Meta.DegreeFormat)
 }
 
@@ -149,6 +211,15 @@ func readStart(path string, numTiles int) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
+	return parseStart(data, path, numTiles)
+}
+
+// parseStart decodes and validates a start-edge file: correct length for
+// the layout, entries non-negative and monotone non-decreasing, first
+// entry zero. The final entry is cross-checked against the meta edge
+// count and the tiles file size by Open, so a damaged index is reported
+// descriptively instead of causing an out-of-range read later.
+func parseStart(data []byte, path string, numTiles int) ([]int64, error) {
 	want := (numTiles + 1) * 8
 	if len(data) != want {
 		return nil, fmt.Errorf("tile: start-edge file %s is %d bytes, want %d", path, len(data), want)
@@ -156,8 +227,12 @@ func readStart(path string, numTiles int) ([]int64, error) {
 	start := make([]int64, numTiles+1)
 	for i := range start {
 		start[i] = int64(binary.LittleEndian.Uint64(data[i*8:]))
+		if start[i] < 0 {
+			return nil, fmt.Errorf("tile: start-edge file entry %d is negative (%d)", i, start[i])
+		}
 		if i > 0 && start[i] < start[i-1] {
-			return nil, fmt.Errorf("tile: start-edge file not monotonic at tile %d", i)
+			return nil, fmt.Errorf("tile: start-edge file not monotonic at tile %d (%d after %d)",
+				i, start[i], start[i-1])
 		}
 	}
 	if start[0] != 0 {
@@ -166,12 +241,12 @@ func readStart(path string, numTiles int) ([]int64, error) {
 	return start, nil
 }
 
-func writeStart(path string, start []int64) error {
+func encodeStart(start []int64) []byte {
 	buf := make([]byte, len(start)*8)
 	for i, s := range start {
 		binary.LittleEndian.PutUint64(buf[i*8:], uint64(s))
 	}
-	return os.WriteFile(path, buf, 0o644)
+	return buf
 }
 
 // Degree file layout: uint32 overflow count, then the 2-byte small array,

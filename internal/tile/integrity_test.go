@@ -1,0 +1,268 @@
+package tile
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/gwu-systems/gstore/internal/gen"
+)
+
+// Round-trip: convert (v2) -> fsck clean -> every tile readable with its
+// checksum verified.
+func TestConvertFsckRoundTripV2(t *testing.T) {
+	el, err := gen.Generate(gen.Graph500Config(10, 8, 81))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	g, err := Convert(el, dir, "g", testOpts(6, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if !g.Checksummed() || g.Meta.Version != Version {
+		t.Fatalf("converted graph not v2-checksummed: version=%d", g.Meta.Version)
+	}
+	r := Fsck(g.BasePath())
+	if !r.OK() {
+		t.Fatalf("fsck of a fresh graph found problems: %v", r.Findings)
+	}
+	if !r.Checksummed || r.TilesChecked == 0 || r.TuplesChecked != g.Meta.NumStored {
+		t.Fatalf("fsck report incomplete: %+v", r)
+	}
+	for i := 0; i < g.Layout.NumTiles(); i++ {
+		if _, err := g.ReadTile(i, nil); err != nil {
+			t.Fatalf("ReadTile(%d): %v", i, err)
+		}
+	}
+}
+
+// v1 graphs (written with FormatVersion) still convert, open with a
+// logged warning, fsck structurally, and serve reads — backward compat.
+func TestConvertFsckRoundTripV1(t *testing.T) {
+	el, err := gen.Generate(gen.Graph500Config(9, 8, 82))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	opts := testOpts(5, 2)
+	opts.FormatVersion = VersionV1
+
+	var warned []string
+	oldWarn := warnf
+	warnf = func(format string, args ...interface{}) { warned = append(warned, fmt.Sprintf(format, args...)) }
+	defer func() { warnf = oldWarn }()
+
+	g, err := Convert(el, dir, "g", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.Checksummed() || g.Meta.Version != VersionV1 || g.Meta.Manifest != nil {
+		t.Fatalf("v1 graph carries v2 state: %+v", g.Meta)
+	}
+	if len(warned) == 0 || !strings.Contains(warned[0], "legacy") {
+		t.Fatalf("opening a v1 graph logged no legacy warning: %v", warned)
+	}
+	// No checksum sidecar on disk.
+	if _, err := os.Stat(crcPath(g.BasePath())); !os.IsNotExist(err) {
+		t.Fatalf("v1 conversion wrote a crc sidecar: %v", err)
+	}
+	r := Fsck(g.BasePath())
+	if !r.OK() {
+		t.Fatalf("fsck of a v1 graph found problems: %v", r.Findings)
+	}
+	if r.Checksummed || r.TilesChecked != 0 {
+		t.Fatalf("v1 fsck claims checksum coverage: %+v", r)
+	}
+	if r.TuplesChecked != g.Meta.NumStored {
+		t.Fatalf("v1 fsck checked %d tuples, want %d", r.TuplesChecked, g.Meta.NumStored)
+	}
+	if err := Verify(g); err != nil {
+		t.Fatalf("Verify(v1): %v", err)
+	}
+}
+
+// The out-of-core converter's incremental checksums must agree with the
+// in-memory converter's: its output passes a full fsck.
+func TestConvertExternalFsck(t *testing.T) {
+	el, err := gen.Generate(gen.Graph500Config(10, 8, 83))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgePath := writeEdges(t, el)
+	dir := t.TempDir()
+	// Tiny budget: many buckets, so per-bucket CRC slicing is exercised.
+	g, err := ConvertExternal(edgePath, el.NumVertices, false, dir, "e", extOpts(6, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if !g.Checksummed() {
+		t.Fatal("external conversion did not produce a checksummed graph")
+	}
+	r := Fsck(g.BasePath())
+	if !r.OK() {
+		t.Fatalf("fsck of external conversion found problems: %v", r.Findings)
+	}
+	if r.TilesChecked == 0 || r.TuplesChecked != g.Meta.NumStored {
+		t.Fatalf("fsck report incomplete: %+v", r)
+	}
+}
+
+// Flipping any single byte of any section file must make fsck report a
+// finding in that exact section — the corrupt-one-byte-anywhere
+// guarantee of the v2 format.
+func TestFsckCorruptOneByte(t *testing.T) {
+	el, err := gen.Generate(gen.Graph500Config(9, 8, 84))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		ext     string
+		section string
+	}{
+		{".meta", "meta"},
+		{".start", "start"},
+		{".tiles", "tiles"},
+		{".crc", "crc"},
+		{".deg", "deg"},
+	} {
+		for _, at := range []string{"first", "middle", "last"} {
+			t.Run(tc.ext+"/"+at, func(t *testing.T) {
+				dir := t.TempDir()
+				g, err := Convert(el, dir, "g", testOpts(5, 2))
+				if err != nil {
+					t.Fatal(err)
+				}
+				base := g.BasePath()
+				g.Close()
+
+				path := base + tc.ext
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				off := 0
+				switch at {
+				case "middle":
+					off = len(data) / 2
+				case "last":
+					off = len(data) - 1
+				}
+				data[off] ^= 0x20
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+
+				r := Fsck(base)
+				if r.OK() {
+					t.Fatalf("fsck missed a flipped byte at %s[%d]", tc.ext, off)
+				}
+				found := false
+				for _, f := range r.Findings {
+					if f.Section == tc.section {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("flip in %s reported as %v, want a %q finding",
+						tc.ext, r.Findings, tc.section)
+				}
+			})
+		}
+	}
+}
+
+// A flipped byte in the small sections (meta, start, crc) must already
+// fail Open; tiles corruption is deferred to the read path by design.
+func TestOpenRejectsCorruptSmallSections(t *testing.T) {
+	el, err := gen.Generate(gen.Graph500Config(9, 8, 85))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ext := range []string{".meta", ".start", ".crc"} {
+		t.Run(ext, func(t *testing.T) {
+			dir := t.TempDir()
+			g, err := Convert(el, dir, "g", testOpts(5, 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := g.BasePath()
+			g.Close()
+			path := base + ext
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/2] ^= 0x10
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Open(base); err == nil {
+				t.Fatalf("Open accepted a corrupt %s", ext)
+			}
+		})
+	}
+}
+
+// ReadTile must catch tiles-file corruption on a graph that opened
+// cleanly (Open checks only the small sections).
+func TestReadTileDetectsCorruption(t *testing.T) {
+	el, err := gen.Generate(gen.Graph500Config(9, 8, 86))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	g, err := Convert(el, dir, "g", testOpts(5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := g.BasePath()
+	g.Close()
+
+	victim := -1
+	data, err := os.ReadFile(base + ".tiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0x01
+	if err := os.WriteFile(base+".tiles", data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Open(base)
+	if err != nil {
+		t.Fatalf("Open after tiles-only corruption: %v", err)
+	}
+	defer g2.Close()
+	for i := 0; i < g2.Layout.NumTiles(); i++ {
+		if g2.TupleCount(i) > 0 {
+			victim = i
+			break
+		}
+	}
+	_, rerr := g2.ReadTile(victim, nil)
+	ce, ok := rerr.(*ChecksumError)
+	if !ok {
+		t.Fatalf("ReadTile error = %v, want *ChecksumError", rerr)
+	}
+	if ce.Tile != victim {
+		t.Fatalf("ChecksumError names tile %d, want %d", ce.Tile, victim)
+	}
+}
+
+// A rejected FormatVersion must fail conversion up front.
+func TestConvertRejectsUnknownFormatVersion(t *testing.T) {
+	el, err := gen.Generate(gen.Graph500Config(8, 4, 87))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOpts(5, 2)
+	opts.FormatVersion = 7
+	if _, err := Convert(el, t.TempDir(), "g", opts); err == nil {
+		t.Fatal("Convert accepted format version 7")
+	}
+}

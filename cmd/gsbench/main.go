@@ -7,6 +7,14 @@
 //	gsbench -list
 //	gsbench -run all [-scale 18] [-edgefactor 16] [-workdir DIR]
 //	gsbench -run fig9,fig10 -quick
+//	gsbench -clients 8 -duration 10s [-benchout BENCH.json]
+//	gsbench -clients 8 -target http://localhost:8080
+//
+// The -clients mode is the closed-loop serving benchmark: N concurrent
+// clients fire mixed BFS/PageRank queries at one graph for -duration and
+// the report compares serialized execution against the shared-scan
+// scheduler (QPS, p50/p95/p99 latency, bytes per query). With -target it
+// load-tests a running gstored instead of an in-process server.
 package main
 
 import (
@@ -31,6 +39,10 @@ func main() {
 		sweep      = flag.String("sweep", "", "comma-separated thread counts for the sweep experiment, e.g. 1,2,4,8")
 		workDir    = flag.String("workdir", "", "directory for generated graphs (default under TMPDIR)")
 		quick      = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		clients    = flag.Int("clients", 0, "closed-loop client count for the serving benchmark")
+		duration   = flag.Duration("duration", 0, "serving benchmark phase duration (default 5s, quick 2s)")
+		target     = flag.String("target", "", "base URL of a running gstored to benchmark (default: in-process server)")
+		benchOut   = flag.String("benchout", "", "file for the serving benchmark's JSON report")
 	)
 	flag.Parse()
 
@@ -48,6 +60,10 @@ func main() {
 		if *run == "" {
 			*run = "sweep"
 		}
+	}
+	// -clients or -target alone implies the serving benchmark.
+	if (*clients > 0 || *target != "") && *run == "" {
+		*run = "serve"
 	}
 
 	if *list || *run == "" {
@@ -71,6 +87,10 @@ func main() {
 		Quick:      *quick,
 	}
 	cfg.ThreadList = threadList
+	cfg.BenchClients = *clients
+	cfg.BenchDuration = *duration
+	cfg.Target = *target
+	cfg.BenchOut = *benchOut
 	cfg.Defaults()
 
 	var ids []string

@@ -17,6 +17,9 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -66,6 +69,7 @@ func usage() {
   gstore fsck -graph DIR/NAME
   gstore stats -graph DIR/NAME
   gstore bfs -graph DIR/NAME -root 0 [engine flags]
+  gstore bfs -graph DIR/NAME -roots 0,1,2,3   (co-scheduled on one shared scan)
   gstore asyncbfs -graph DIR/NAME -root 0 [engine flags]
   gstore pagerank -graph DIR/NAME -iters 10 [engine flags]
   gstore wcc -graph DIR/NAME [engine flags]
@@ -271,10 +275,66 @@ func engineFlags(fs *flag.FlagSet) func() core.Options {
 	}
 }
 
+// runMultiBFS co-schedules one BFS per root on the engine's shared
+// sweep and prints a per-root summary plus the combined I/O cost.
+func runMultiBFS(ctx context.Context, g *gstore.Graph, e *core.Engine, rootList []uint32) error {
+	sched := core.NewScheduler(e)
+	defer sched.Close()
+
+	type result struct {
+		st  *core.Stats
+		err error
+	}
+	runs := make([]*algo.BFS, len(rootList))
+	results := make([]result, len(rootList))
+	var wg sync.WaitGroup
+	for i, r := range rootList {
+		runs[i] = algo.NewBFS(r)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := sched.Run(ctx, runs[i])
+			results[i] = result{st, err}
+		}(i)
+	}
+	wg.Wait()
+
+	var totalBytes, totalReqs int64
+	var elapsed time.Duration
+	for i, r := range rootList {
+		res := results[i]
+		if res.err != nil {
+			return fmt.Errorf("bfs root %d: %w", r, res.err)
+		}
+		reached := 0
+		maxDepth := int32(-1)
+		for _, d := range runs[i].Depths() {
+			if d >= 0 {
+				reached++
+				if d > maxDepth {
+					maxDepth = d
+				}
+			}
+		}
+		st := res.st
+		totalBytes += st.BytesRead
+		totalReqs += st.IORequests
+		if st.Elapsed > elapsed {
+			elapsed = st.Elapsed
+		}
+		fmt.Printf("bfs root %-10d reached %d of %d, max depth %d, read %s (shared with up to %d runs)\n",
+			r, reached, g.Meta.NumVertices, maxDepth, report.Bytes(st.BytesRead), st.SharedRuns)
+	}
+	fmt.Printf("co-scheduled %d searches in %v: %s total in %d requests (one shared scan per iteration)\n",
+		len(rootList), elapsed.Round(1e6), report.Bytes(totalBytes), totalReqs)
+	return nil
+}
+
 func cmdRun(alg string, args []string) error {
 	fs := flag.NewFlagSet(alg, flag.ExitOnError)
 	path := fs.String("graph", "", "graph base path (dir/name)")
 	root := fs.Uint64("root", 0, "BFS root vertex")
+	roots := fs.String("roots", "", "comma-separated BFS roots co-scheduled on one shared scan (bfs only)")
 	iters := fs.Int("iters", 10, "PageRank iterations")
 	topN := fs.Int("top", 5, "results to print")
 	dumpMetrics := fs.Bool("metrics", false, "print final counters in Prometheus text format on stderr")
@@ -282,6 +342,19 @@ func cmdRun(alg string, args []string) error {
 	fs.Parse(args)
 	if *path == "" {
 		return fmt.Errorf("%s: -graph is required", alg)
+	}
+	var rootList []uint32
+	if *roots != "" {
+		if alg != "bfs" {
+			return fmt.Errorf("%s: -roots only applies to bfs", alg)
+		}
+		for _, s := range strings.Split(*roots, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 32)
+			if err != nil {
+				return fmt.Errorf("bfs: bad -roots entry %q: %w", s, err)
+			}
+			rootList = append(rootList, uint32(v))
+		}
 	}
 	// Ctrl-C cancels the run instead of killing the process mid-I/O; the
 	// engine's cancellation path releases its segments before returning.
@@ -304,11 +377,21 @@ func cmdRun(alg string, args []string) error {
 			o.SegmentSize = o.MemoryBytes / 8
 		}
 	}
+	if len(rootList) > 1 {
+		// Co-schedule one BFS per root through the shared sweep: the
+		// scheduler admits all of them into one batch, so the tile stream
+		// is fetched once per iteration and fanned out to every search.
+		o.MaxConcurrentRuns = len(rootList)
+	}
 	e, err := core.NewEngine(g, o)
 	if err != nil {
 		return err
 	}
 	defer e.Close()
+
+	if len(rootList) > 0 {
+		return runMultiBFS(ctx, g, e, rootList)
+	}
 
 	var st *core.Stats
 	switch alg {

@@ -50,6 +50,8 @@ func main() {
 	seg := flag.Int64("segment", 0, "segment size in bytes (default memory/8)")
 	threads := flag.Int("threads", 0, "worker threads per graph")
 	chunk := flag.Int64("chunk", 0, "work-item chunk size in bytes (0 = 256KiB default, -1 = whole tiles)")
+	maxRuns := flag.Int("maxruns", 8, "concurrent algorithm runs co-scheduled per graph (1-64)")
+	queueLen := flag.Int("queue", 64, "runs queued per graph beyond -maxruns before 429s")
 	disks := flag.Int("disks", 8, "simulated SSD count")
 	bw := flag.Float64("bandwidth", 0, "per-disk bandwidth in bytes/s (0 = unthrottled)")
 	pprofOn := flag.Bool("pprof", true, "serve net/http/pprof under /debug/pprof/")
@@ -93,6 +95,8 @@ func main() {
 			opts.Threads = *threads
 		}
 		opts.ChunkBytes = *chunk
+		opts.MaxConcurrentRuns = *maxRuns
+		opts.MaxQueuedRuns = *queueLen
 		opts.Disks = *disks
 		opts.Bandwidth = *bw
 		if *faultRate > 0 || *faultShort > 0 || *faultCorrupt > 0 {

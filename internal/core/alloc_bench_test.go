@@ -1,0 +1,95 @@
+package core
+
+import (
+	"context"
+	"os"
+	"sync"
+	"testing"
+
+	"github.com/gwu-systems/gstore/internal/algo"
+	"github.com/gwu-systems/gstore/internal/gen"
+	"github.com/gwu-systems/gstore/internal/tile"
+)
+
+// benchGraph builds one small Kronecker graph shared by the allocation
+// benchmarks (sync.Once so repeated -bench invocations reuse it within a
+// process). It lives in its own temp dir, not b.TempDir, because the
+// latter is removed when the first benchmark ends.
+var benchGraphOnce struct {
+	sync.Once
+	g   *tile.Graph
+	err error
+}
+
+func allocBenchGraph(b *testing.B) *tile.Graph {
+	b.Helper()
+	benchGraphOnce.Do(func() {
+		el, err := gen.Generate(gen.Graph500Config(11, 8, 77))
+		if err != nil {
+			benchGraphOnce.err = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "gstore-allocbench")
+		if err != nil {
+			benchGraphOnce.err = err
+			return
+		}
+		benchGraphOnce.g, benchGraphOnce.err = tile.Convert(el, dir, "ab", tile.ConvertOptions{
+			TileBits: 6, GroupQ: 4, Symmetry: true, SNB: true, Degrees: true,
+		})
+	})
+	if benchGraphOnce.err != nil {
+		b.Fatal(benchGraphOnce.err)
+	}
+	return benchGraphOnce.g
+}
+
+// BenchmarkRunHotLoopAllocs measures per-Run allocations of the SCR hot
+// loop on a reused engine: iteration planning (needed/inCache), segment
+// plans, the completion buffer, and dispatch bookkeeping. Run with
+// -benchmem; the per-iteration scratch reuse exists to keep allocs/op
+// flat as iteration counts grow.
+func BenchmarkRunHotLoopAllocs(b *testing.B) {
+	g := allocBenchGraph(b)
+	opts := DefaultOptions()
+	opts.MemoryBytes = 1 << 20
+	opts.SegmentSize = 64 << 10
+	opts.Threads = 4
+	e, err := NewEngine(g, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(ctx, algo.NewPageRank(5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunHotLoopAllocsBFS is the selective-fetch variant: many
+// iterations with small per-iteration need sets, the worst case for
+// per-iteration planning allocations.
+func BenchmarkRunHotLoopAllocsBFS(b *testing.B) {
+	g := allocBenchGraph(b)
+	opts := DefaultOptions()
+	opts.MemoryBytes = 1 << 20
+	opts.SegmentSize = 64 << 10
+	opts.Threads = 4
+	e, err := NewEngine(g, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(ctx, algo.NewBFS(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

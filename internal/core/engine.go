@@ -28,11 +28,23 @@ func (e *BadRequestError) Error() string { return e.Err.Error() }
 // Unwrap lets errors.Is/As reach the underlying cause.
 func (e *BadRequestError) Unwrap() error { return e.Err }
 
+// errBatchDone signals that every run in a sweep batch finished (all
+// canceled) mid-iteration: the sweep tore its pipeline down cleanly and
+// there is nothing left to drive. It is a control-flow sentinel, not a
+// failure — per-run outcomes live in each runState's err.
+var errBatchDone = errors.New("core: every run in the batch finished")
+
 // Engine runs tile algorithms over an on-disk graph with the SCR
 // scheduler: it slides segment-sized batched reads over the needed tiles,
 // overlapping I/O with processing; retires processed segments into the
 // cache pool under the configured policy; and rewinds each iteration to
 // consume the pool before issuing any I/O (Figure 8).
+//
+// One engine drives one sweep at a time, but a sweep may carry a whole
+// batch of co-scheduled algorithm runs (see Scheduler): the fetched tile
+// stream is planned over the union of the batch's selective-fetch sets
+// and each fetched tile is dispatched once per interested run, so N
+// concurrent queries share a single pass over the disk.
 type Engine struct {
 	g     *tile.Graph
 	opts  Options
@@ -45,6 +57,103 @@ type Engine struct {
 	// size (0 disables intra-tile chunking).
 	chunkBytes int64
 	workers    []workerStat
+
+	// scratch holds the per-iteration planning state reused across
+	// iterations and runs; only the (single) sweep driver touches it.
+	scratch sweepScratch
+}
+
+// runState is one algorithm run riding a sweep batch: its kernel, its
+// private statistics, and its position in its own iteration sequence
+// (co-scheduled runs advance one algorithm iteration per shared sweep,
+// each counting from its own join).
+type runState struct {
+	alg     algo.Algorithm
+	chunked algo.ChunkedAlgorithm // non-nil when alg supports chunked dispatch
+	ctx     context.Context
+	stats   *Stats
+	iter    int
+
+	// finished is set by the sweep (convergence, cancellation, or a
+	// sweep-fatal error); err is the run's outcome. completed marks
+	// driver-side finalization (stats sealed, waiter released).
+	finished  bool
+	completed bool
+	err       error
+	done      chan struct{}
+	began     time.Time
+
+	// Fractional attribution of shared I/O: a tile fetched for k
+	// interested runs charges each of them 1/k of its bytes and requests.
+	bytesFrac float64
+	reqFrac   float64
+}
+
+// prepare validates and initializes a for this engine's graph and wraps
+// it in a fresh runState. Init failures come back as *BadRequestError.
+func (e *Engine) prepare(ctx context.Context, a algo.Algorithm) (*runState, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var degrees tile.DegreeSource
+	if e.g.Meta.DegreeFormat != "" {
+		var err error
+		degrees, err = e.g.Degrees()
+		if err != nil {
+			return nil, err
+		}
+	}
+	actx := &algo.Context{
+		NumVertices: e.g.Meta.NumVertices,
+		Layout:      e.g.Layout,
+		Directed:    e.g.Meta.Directed,
+		Half:        e.g.Meta.Half,
+		SNB:         e.g.Meta.SNB,
+		Degrees:     degrees,
+		Workers:     e.opts.Threads,
+	}
+	if err := a.Init(actx); err != nil {
+		return nil, &BadRequestError{Err: err}
+	}
+	chunked, _ := a.(algo.ChunkedAlgorithm)
+	return &runState{
+		alg:     a,
+		chunked: chunked,
+		ctx:     ctx,
+		stats:   &Stats{Algorithm: a.Name()},
+		done:    make(chan struct{}),
+		began:   time.Now(),
+	}, nil
+}
+
+// pollBatch marks canceled runs finished and reports how many runs are
+// still live. It is the batch generalization of the solo ctx.Err() poll:
+// one disconnected client leaves the sweep at the next poll point without
+// disturbing its co-scheduled neighbors.
+func pollBatch(batch []*runState) int {
+	alive := 0
+	for _, r := range batch {
+		if r.finished {
+			continue
+		}
+		if err := r.ctx.Err(); err != nil {
+			r.finished = true
+			r.err = fmt.Errorf("core: run canceled: %w", err)
+			continue
+		}
+		alive++
+	}
+	return alive
+}
+
+// statEach applies f to every unfinished run's stats (shared sweep events
+// like IO waits and retries are observed by every live run).
+func statEach(batch []*runState, f func(*Stats)) {
+	for _, r := range batch {
+		if !r.finished {
+			f(r.stats)
+		}
+	}
 }
 
 // workItem is one unit of compute: a whole tile, or — when the algorithm
@@ -146,6 +255,7 @@ func NewEngine(g *tile.Graph, opts Options) (*Engine, error) {
 		}
 		e.chunkBytes = cb
 	}
+	e.scratch.inCache = make(map[int]bool)
 	e.workers = make([]workerStat, opts.Threads)
 	e.work = make(chan workItem, opts.Threads*2)
 	for i := 0; i < opts.Threads; i++ {
@@ -205,6 +315,35 @@ func (e *Engine) dispatch(alg algo.Algorithm, chunked algo.ChunkedAlgorithm, ref
 	return int64(len(views))
 }
 
+// dispatchTile fans one tile out to every interested, still-live run of
+// the batch and updates their per-run counters. fetchedBytes > 0 marks a
+// freshly fetched tile whose bytes are attributed fractionally across
+// the interested runs; fetchedBytes == 0 marks a cache-pool hit.
+func (e *Engine) dispatchTile(batch []*runState, mask uint64, ref mem.TileRef, fetchedBytes int64, done *sync.WaitGroup) {
+	share := 0
+	for j := range batch {
+		if mask&(1<<uint(j)) != 0 && !batch[j].finished {
+			share++
+		}
+	}
+	if share == 0 {
+		return
+	}
+	for j, r := range batch {
+		if mask&(1<<uint(j)) == 0 || r.finished {
+			continue
+		}
+		r.stats.Chunks += e.dispatch(r.alg, r.chunked, ref, done)
+		r.stats.TilesProcessed++
+		if fetchedBytes > 0 {
+			r.stats.TilesFetched++
+			r.bytesFrac += float64(fetchedBytes) / float64(share)
+		} else {
+			r.stats.TilesFromCache++
+		}
+	}
+}
+
 // workerSnapshot copies the cumulative per-worker counters.
 func (e *Engine) workerSnapshot() (busy []int64, chunks []int64) {
 	busy = make([]int64, len(e.workers))
@@ -227,34 +366,19 @@ func (e *Engine) workerSnapshot() (busy []int64, chunks []int64) {
 // Errors caused by the algorithm's arguments (Init validation) are
 // wrapped in *BadRequestError; everything else is an engine or storage
 // failure.
+//
+// Run is the solo entry point and must not be called concurrently with
+// itself or with a Scheduler on the same engine; servers co-scheduling
+// queries go through Scheduler.Run instead.
 func (e *Engine) Run(ctx context.Context, a algo.Algorithm) (*Stats, error) {
-	if ctx == nil {
-		ctx = context.Background()
+	r, err := e.prepare(ctx, a)
+	if err != nil {
+		return nil, err
 	}
-	var degrees tile.DegreeSource
-	if e.g.Meta.DegreeFormat != "" {
-		var err error
-		degrees, err = e.g.Degrees()
-		if err != nil {
-			return nil, err
-		}
-	}
-	actx := &algo.Context{
-		NumVertices: e.g.Meta.NumVertices,
-		Layout:      e.g.Layout,
-		Directed:    e.g.Meta.Directed,
-		Half:        e.g.Meta.Half,
-		SNB:         e.g.Meta.SNB,
-		Degrees:     degrees,
-		Workers:     e.opts.Threads,
-	}
-	if err := a.Init(actx); err != nil {
-		return nil, &BadRequestError{Err: err}
-	}
-	chunked, _ := a.(algo.ChunkedAlgorithm)
+	ctx = r.ctx
 	e.mm.Clear()
 
-	stats := &Stats{Algorithm: a.Name()}
+	stats := r.stats
 	busyStart, chunksStart := e.workerSnapshot()
 	startStorage := e.array.Stats()
 	fd, hasFaults := e.array.(*storage.FaultDevice)
@@ -263,15 +387,25 @@ func (e *Engine) Run(ctx context.Context, a algo.Algorithm) (*Stats, error) {
 		startFaults = fd.FaultStats()
 	}
 	begin := time.Now()
+	batch := []*runState{r}
 
 	for iter := 0; iter < e.opts.MaxIterations; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: run canceled before iteration %d: %w", iter, err)
 		}
+		r.iter = iter
 		a.BeforeIteration(iter)
 		before := *stats
 		beforeIO := e.array.Stats()
-		if err := e.runIteration(ctx, a, chunked, stats); err != nil {
+		if err := e.sweepIteration(batch); err != nil {
+			if errors.Is(err, errBatchDone) {
+				// The only run was canceled mid-sweep; its outcome is on
+				// the runState.
+				if r.err == nil {
+					r.err = fmt.Errorf("core: run canceled: %w", context.Canceled)
+				}
+				return nil, r.err
+			}
 			var ie *IntegrityError
 			if errors.As(err, &ie) {
 				// Integrity failures return the partial stats so the
@@ -337,51 +471,113 @@ func (e *Engine) Run(ctx context.Context, a algo.Algorithm) (*Stats, error) {
 	return stats, nil
 }
 
-// runIteration performs one SCR iteration: selective-fetch planning,
-// rewind over the cache pool, then the slide over the remaining tiles.
-func (e *Engine) runIteration(ctx context.Context, a algo.Algorithm, chunked algo.ChunkedAlgorithm, stats *Stats) error {
+// sweepScratch is the per-iteration planning state, reused across
+// iterations (and across runs on a reused engine) so the Run hot loop
+// stays allocation-free once warm: the union need set and its interest
+// masks, the in-cache filter, pooled segment plans, the inflight queue
+// and its retry counters, the completion buffer, and the tile-ref /
+// request staging slices.
+type sweepScratch struct {
+	needed    []int
+	masks     []uint64
+	fetch     []int
+	fetchMask []uint64
+	inCache   map[int]bool
+
+	plans  []*segmentPlan
+	nplans int
+
+	queue    []inflight
+	attempts []int
+	comps    []storage.Completion
+	refs     []mem.TileRef
+	reqVals  []storage.Request
+	reqPtrs  []*storage.Request
+}
+
+// nextPlan hands out a pooled (or fresh) segment plan with empty tile and
+// run lists.
+func (sc *sweepScratch) nextPlan() *segmentPlan {
+	if sc.nplans < len(sc.plans) {
+		p := sc.plans[sc.nplans]
+		p.tiles = p.tiles[:0]
+		p.runs = p.runs[:0]
+		sc.nplans++
+		return p
+	}
+	p := &segmentPlan{}
+	sc.plans = append(sc.plans, p)
+	sc.nplans++
+	return p
+}
+
+// sweepIteration performs one shared SCR iteration for a batch of runs:
+// union selective-fetch planning, rewind over the cache pool (each cached
+// tile dispatched once per interested run), then the slide over the union
+// of the remaining tiles.
+//
+// It returns nil on success, errBatchDone when every run finished
+// (canceled) mid-sweep, or a sweep-fatal error (storage or integrity
+// failure) that the driver must apply to every unfinished run.
+func (e *Engine) sweepIteration(batch []*runState) error {
+	sc := &e.scratch
 	layout := e.g.Layout
-	needed := make([]int, 0, layout.NumTiles())
+	sc.needed = sc.needed[:0]
+	sc.masks = sc.masks[:0]
 	for i := 0; i < layout.NumTiles(); i++ {
 		if e.g.TupleCount(i) == 0 {
 			continue
 		}
 		c := layout.CoordAt(i)
-		if e.opts.Selective && !a.NeedTileThisIter(c.Row, c.Col) {
-			stats.TilesSkipped++
+		var mask uint64
+		for j, r := range batch {
+			if r.finished {
+				continue
+			}
+			if e.opts.Selective && !r.alg.NeedTileThisIter(c.Row, c.Col) {
+				r.stats.TilesSkipped++
+				continue
+			}
+			mask |= 1 << uint(j)
+		}
+		if mask == 0 {
 			continue
 		}
-		needed = append(needed, i)
+		sc.needed = append(sc.needed, i)
+		sc.masks = append(sc.masks, mask)
 	}
 
 	// Rewind (§VI-D): process everything already cached before any I/O.
-	inCache := make(map[int]bool)
-	if e.opts.Cache != CacheNone && len(e.mm.CachedTiles()) > 0 {
+	clear(sc.inCache)
+	if cached := e.mm.CachedTiles(); e.opts.Cache != CacheNone && len(cached) > 0 {
 		var done sync.WaitGroup
 		cs := time.Now()
-		for _, ref := range e.mm.CachedTiles() {
-			if !containsSorted(needed, ref.DiskIdx) {
+		for _, ref := range cached {
+			pos := indexSorted(sc.needed, ref.DiskIdx)
+			if pos < 0 {
 				continue
 			}
-			inCache[ref.DiskIdx] = true
-			stats.Chunks += e.dispatch(a, chunked, ref, &done)
-			stats.TilesProcessed++
-			stats.TilesFromCache++
+			sc.inCache[ref.DiskIdx] = true
+			e.dispatchTile(batch, sc.masks[pos], ref, 0, &done)
 		}
 		done.Wait()
-		stats.Compute += time.Since(cs)
+		el := time.Since(cs)
+		statEach(batch, func(st *Stats) { st.Compute += el })
 	}
 
-	toFetch := needed[:0:0]
-	for _, di := range needed {
-		if !inCache[di] {
-			toFetch = append(toFetch, di)
+	sc.fetch = sc.fetch[:0]
+	sc.fetchMask = sc.fetchMask[:0]
+	for k, di := range sc.needed {
+		if !sc.inCache[di] {
+			sc.fetch = append(sc.fetch, di)
+			sc.fetchMask = append(sc.fetchMask, sc.masks[k])
 		}
 	}
-	return e.slide(ctx, a, chunked, toFetch, stats)
+	return e.slide(batch, sc.fetch, sc.fetchMask)
 }
 
-func containsSorted(sorted []int, x int) bool {
+// indexSorted returns the position of x in the ascending slice, or -1.
+func indexSorted(sorted []int, x int) int {
 	lo, hi := 0, len(sorted)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
@@ -391,18 +587,20 @@ func containsSorted(sorted []int, x int) bool {
 		case sorted[mid] > x:
 			hi = mid
 		default:
-			return true
+			return mid
 		}
 	}
-	return false
+	return -1
 }
 
-// plannedTile is one tile's slot within a segment load.
+// plannedTile is one tile's slot within a segment load. mask records
+// which runs of the current batch want the tile (bit j = batch[j]).
 type plannedTile struct {
 	diskIdx  int
 	row, col uint32
 	bufOff   int64
 	n        int64
+	mask     uint64
 }
 
 // segmentPlan is one segment's worth of tiles plus the contiguous byte
@@ -421,26 +619,31 @@ type run struct {
 }
 
 // planSegments packs the tiles to fetch, in disk order, into
-// segment-sized plans.
-func (e *Engine) planSegments(toFetch []int) []*segmentPlan {
-	var plans []*segmentPlan
-	cur := &segmentPlan{}
+// segment-sized plans. masks carries the per-tile run-interest bits
+// aligned with toFetch; nil means a single-run batch (every bit-0). The
+// returned plans are pooled in the engine's scratch and are invalidated
+// by the next planSegments call.
+func (e *Engine) planSegments(toFetch []int, masks []uint64) []*segmentPlan {
+	sc := &e.scratch
+	sc.nplans = 0
+	var cur *segmentPlan
 	var used int64
-	flush := func() {
-		if len(cur.tiles) > 0 {
-			plans = append(plans, cur)
-			cur = &segmentPlan{}
+	for k, di := range toFetch {
+		off, n := e.g.TileByteRange(di)
+		if cur != nil && used+n > e.opts.SegmentSize {
+			cur = nil
+		}
+		if cur == nil {
+			cur = sc.nextPlan()
 			used = 0
 		}
-	}
-	for _, di := range toFetch {
-		off, n := e.g.TileByteRange(di)
-		if used+n > e.opts.SegmentSize {
-			flush()
+		mask := uint64(1)
+		if masks != nil {
+			mask = masks[k]
 		}
 		c := e.g.Layout.CoordAt(di)
 		cur.tiles = append(cur.tiles, plannedTile{
-			diskIdx: di, row: c.Row, col: c.Col, bufOff: used, n: n,
+			diskIdx: di, row: c.Row, col: c.Col, bufOff: used, n: n, mask: mask,
 		})
 		if last := len(cur.runs) - 1; last >= 0 &&
 			cur.runs[last].fileOff+cur.runs[last].n == off &&
@@ -451,37 +654,61 @@ func (e *Engine) planSegments(toFetch []int) []*segmentPlan {
 		}
 		used += n
 	}
-	flush()
-	return plans
+	return sc.plans[:sc.nplans]
+}
+
+// inflight is one submitted segment load: its buffer, its plan, and the
+// retry ledger for its outstanding runs.
+type inflight struct {
+	seg      *mem.Segment
+	plan     *segmentPlan
+	left     int   // outstanding runs
+	attempts []int // retry attempts per run
 }
 
 // slide is the pipelined stream of Figure 8: one segment loads while the
-// other is processed; processed segments retire into the cache pool.
+// other is processed; processed segments retire into the cache pool. Each
+// loaded tile is dispatched once per interested run of the batch, so
+// co-scheduled queries consume a single tile stream.
 //
 // Error handling: a failed or short read is re-submitted with capped
 // exponential backoff up to Options.MaxRetries times before it fails the
-// run. Every error path drains the in-flight completions it owns and
-// releases every acquired segment, so a failed Run leaves the engine
-// reusable: the next Run starts with both streaming buffers free and an
-// empty completion stream.
+// sweep (and with it every run of the batch). Every error path drains the
+// in-flight completions it owns and releases every acquired segment, so a
+// failed sweep leaves the engine reusable: the next sweep starts with
+// both streaming buffers free and an empty completion stream.
 //
-// Cancellation: ctx is polled before every completion wait, so a cancel
-// takes effect within one I/O completion; the teardown path then drains
-// and releases exactly as for an I/O error.
-func (e *Engine) slide(ctx context.Context, a algo.Algorithm, chunked algo.ChunkedAlgorithm, toFetch []int, stats *Stats) error {
-	plans := e.planSegments(toFetch)
+// Cancellation: every run's ctx is polled before each completion wait, so
+// a canceled run leaves the batch within one I/O completion; the sweep
+// itself tears down (errBatchDone) only when no live run remains.
+func (e *Engine) slide(batch []*runState, toFetch []int, masks []uint64) error {
+	plans := e.planSegments(toFetch, masks)
 	if len(plans) == 0 {
 		return nil
 	}
+	sc := &e.scratch
 
-	type inflight struct {
-		seg      *mem.Segment
-		plan     *segmentPlan
-		left     int   // outstanding runs
-		attempts []int // retry attempts per run
+	// The inflight queue is pre-sized to the plan count so taking
+	// &queue[i] stays valid across appends; the retry ledgers slice one
+	// shared arena.
+	if cap(sc.queue) < len(plans) {
+		sc.queue = make([]inflight, 0, len(plans))
 	}
+	queue := sc.queue[:0]
+	totalRuns := 0
+	for _, p := range plans {
+		totalRuns += len(p.runs)
+	}
+	if cap(sc.attempts) < totalRuns {
+		sc.attempts = make([]int, totalRuns)
+	}
+	attemptArena := sc.attempts[:totalRuns]
+	for i := range attemptArena {
+		attemptArena[i] = 0
+	}
+	arenaUsed := 0
+
 	var (
-		queue       []*inflight
 		next        int
 		outstanding int // async requests in flight across the whole queue
 	)
@@ -492,14 +719,14 @@ func (e *Engine) slide(ctx context.Context, a algo.Algorithm, chunked algo.Chunk
 	// released when they retired).
 	fail := func(head int, err error) error {
 		for outstanding > 0 {
-			comps := e.array.Wait(1, nil)
+			comps := e.array.Wait(1, sc.comps[:0])
 			if len(comps) == 0 {
 				break // device closed; nothing further will arrive
 			}
 			outstanding -= len(comps)
 		}
-		for _, fl := range queue[head:] {
-			e.mm.Release(fl.seg)
+		for i := head; i < len(queue); i++ {
+			e.mm.Release(queue[i].seg)
 		}
 		return err
 	}
@@ -514,27 +741,39 @@ func (e *Engine) slide(ctx context.Context, a algo.Algorithm, chunked algo.Chunk
 		}
 		p := plans[next]
 		next++
-		fl := &inflight{seg: s, plan: p, left: len(p.runs), attempts: make([]int, len(p.runs))}
-		qi := len(queue)
-		queue = append(queue, fl)
+		queue = append(queue, inflight{
+			seg: s, plan: p, left: len(p.runs),
+			attempts: attemptArena[arenaUsed : arenaUsed+len(p.runs)],
+		})
+		arenaUsed += len(p.runs)
+		qi := len(queue) - 1
+		fl := &queue[qi]
 		if e.opts.SyncIO {
 			ws := time.Now()
-			defer func() { stats.IOWait += time.Since(ws) }()
+			defer func() {
+				d := time.Since(ws)
+				statEach(batch, func(st *Stats) { st.IOWait += d })
+			}()
 			for _, r := range p.runs {
-				if err := e.readSyncRetry(ctx, r, s, stats); err != nil {
+				if err := e.readSyncRetry(batch, r, s); err != nil {
 					return err
 				}
 			}
 			fl.left = 0
 			return nil
 		}
-		reqs := make([]*storage.Request, len(p.runs))
+		if cap(sc.reqVals) < len(p.runs) {
+			sc.reqVals = make([]storage.Request, len(p.runs))
+			sc.reqPtrs = make([]*storage.Request, len(p.runs))
+		}
+		reqs := sc.reqPtrs[:len(p.runs)]
 		for i, r := range p.runs {
-			reqs[i] = &storage.Request{
+			sc.reqVals[i] = storage.Request{
 				Offset: r.fileOff,
 				Buf:    s.Buf[r.bufOff : r.bufOff+r.n],
 				Tag:    int64(qi)<<32 | int64(i),
 			}
+			reqs[i] = &sc.reqVals[i]
 		}
 		if err := e.array.Submit(reqs); err != nil {
 			return err
@@ -549,7 +788,7 @@ func (e *Engine) slide(ctx context.Context, a algo.Algorithm, chunked algo.Chunk
 	handle := func(c storage.Completion) error {
 		outstanding--
 		qi, ri := int(c.Tag>>32), int(c.Tag&0xffffffff)
-		fl := queue[qi]
+		fl := &queue[qi]
 		r := fl.plan.runs[ri]
 		err := c.Err
 		if err == nil && int64(c.N) < r.n {
@@ -559,13 +798,13 @@ func (e *Engine) slide(ctx context.Context, a algo.Algorithm, chunked algo.Chunk
 			fl.left--
 			return nil
 		}
-		stats.IOFailures++
+		statEach(batch, func(st *Stats) { st.IOFailures++ })
 		if fl.attempts[ri] >= e.opts.MaxRetries {
 			return fmt.Errorf("core: tile read failed after %d attempts: %w", fl.attempts[ri]+1, err)
 		}
 		fl.attempts[ri]++
-		stats.Retries++
-		if err := e.backoff(ctx, fl.attempts[ri]); err != nil {
+		statEach(batch, func(st *Stats) { st.Retries++ })
+		if err := e.backoff(batch, fl.attempts[ri]); err != nil {
 			return err
 		}
 		req := &storage.Request{
@@ -587,18 +826,20 @@ func (e *Engine) slide(ctx context.Context, a algo.Algorithm, chunked algo.Chunk
 		}
 	}
 
-	var comps []storage.Completion
+	comps := sc.comps
 	for head := 0; head < len(queue); head++ {
-		fl := queue[head]
+		fl := &queue[head]
 		ws := time.Now()
 		for fl.left > 0 {
-			if err := ctx.Err(); err != nil {
-				stats.IOWait += time.Since(ws)
-				return fail(head, fmt.Errorf("core: run canceled: %w", err))
+			if pollBatch(batch) == 0 {
+				d := time.Since(ws)
+				statEach(batch, func(st *Stats) { st.IOWait += d })
+				return fail(head, errBatchDone)
 			}
 			comps = e.array.Wait(1, comps[:0])
 			if len(comps) == 0 {
-				stats.IOWait += time.Since(ws)
+				d := time.Since(ws)
+				statEach(batch, func(st *Stats) { st.IOWait += d })
 				return fail(head, fmt.Errorf("core: storage closed during run"))
 			}
 			for ci, c := range comps {
@@ -606,27 +847,34 @@ func (e *Engine) slide(ctx context.Context, a algo.Algorithm, chunked algo.Chunk
 					// The rest of this batch was already received off the
 					// completion stream; count it before draining.
 					outstanding -= len(comps) - ci - 1
-					stats.IOWait += time.Since(ws)
+					d := time.Since(ws)
+					statEach(batch, func(st *Stats) { st.IOWait += d })
+					sc.comps = comps
 					return fail(head, err)
 				}
 			}
 		}
-		stats.IOWait += time.Since(ws)
+		d := time.Since(ws)
+		statEach(batch, func(st *Stats) { st.IOWait += d })
+		sc.comps = comps
 
 		// Verify the segment's tiles against their recorded checksums
 		// before any worker sees the data (no-op on v1 graphs).
-		if err := e.verifySegment(fl.plan, fl.seg, stats); err != nil {
+		if err := e.verifySegment(batch, fl.plan, fl.seg); err != nil {
 			return fail(head, err)
 		}
 
 		// Register the loaded tiles and hand them to the workers; kick
 		// off the next load first so I/O overlaps compute (the slide).
-		refs := make([]mem.TileRef, len(fl.plan.tiles))
-		for i, pt := range fl.plan.tiles {
-			refs[i] = mem.TileRef{
+		if cap(sc.refs) < len(fl.plan.tiles) {
+			sc.refs = make([]mem.TileRef, 0, len(fl.plan.tiles))
+		}
+		refs := sc.refs[:0]
+		for _, pt := range fl.plan.tiles {
+			refs = append(refs, mem.TileRef{
 				DiskIdx: pt.diskIdx, Row: pt.row, Col: pt.col,
 				Data: fl.seg.Buf[pt.bufOff : pt.bufOff+pt.n],
-			}
+			})
 		}
 		fl.seg.SetTiles(refs)
 
@@ -634,17 +882,37 @@ func (e *Engine) slide(ctx context.Context, a algo.Algorithm, chunked algo.Chunk
 			return fail(head, err)
 		}
 
+		// Shared-read request attribution: the plan's AIO batch is
+		// charged fractionally to the runs it served.
+		planMask := uint64(0)
+		for _, pt := range fl.plan.tiles {
+			planMask |= pt.mask
+		}
+		interested := 0
+		for j, r := range batch {
+			if planMask&(1<<uint(j)) != 0 && !r.finished {
+				interested++
+			}
+		}
+		if interested > 0 {
+			frac := float64(len(fl.plan.runs)) / float64(interested)
+			for j, r := range batch {
+				if planMask&(1<<uint(j)) != 0 && !r.finished {
+					r.reqFrac += frac
+				}
+			}
+		}
+
 		var done sync.WaitGroup
 		cs := time.Now()
-		for _, ref := range refs {
-			stats.Chunks += e.dispatch(a, chunked, ref, &done)
+		for ti, ref := range refs {
+			e.dispatchTile(batch, fl.plan.tiles[ti].mask, ref, fl.plan.tiles[ti].n, &done)
 		}
-		stats.TilesProcessed += int64(len(refs))
-		stats.TilesFetched += int64(len(refs))
 		done.Wait()
-		stats.Compute += time.Since(cs)
+		ce := time.Since(cs)
+		statEach(batch, func(st *Stats) { st.Compute += ce })
 
-		e.retire(a, fl.seg)
+		e.retire(batch, fl.seg)
 		// Retiring freed a buffer; make sure the pipeline stays primed.
 		if err := submit(); err != nil {
 			return fail(head+1, err)
@@ -654,37 +922,56 @@ func (e *Engine) slide(ctx context.Context, a algo.Algorithm, chunked algo.Chunk
 }
 
 // readSyncRetry performs one synchronous run read with the same
-// retry/backoff policy the async path uses, polling ctx between
-// attempts.
-func (e *Engine) readSyncRetry(ctx context.Context, r run, s *mem.Segment, stats *Stats) error {
+// retry/backoff policy the async path uses, polling the batch's contexts
+// between attempts.
+func (e *Engine) readSyncRetry(batch []*runState, r run, s *mem.Segment) error {
 	for attempt := 0; ; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("core: run canceled: %w", err)
+		if pollBatch(batch) == 0 {
+			return errBatchDone
 		}
 		err := e.array.ReadSync(r.fileOff, s.Buf[r.bufOff:r.bufOff+r.n])
 		if err == nil {
 			return nil
 		}
-		stats.IOFailures++
+		statEach(batch, func(st *Stats) { st.IOFailures++ })
 		if attempt >= e.opts.MaxRetries {
 			return fmt.Errorf("core: tile read failed after %d attempts: %w", attempt+1, err)
 		}
-		stats.Retries++
-		if err := e.backoff(ctx, attempt+1); err != nil {
+		statEach(batch, func(st *Stats) { st.Retries++ })
+		if err := e.backoff(batch, attempt+1); err != nil {
 			return err
 		}
 	}
 }
 
 // backoff pauses before the attempt'th retry (1-based): RetryBackoff
-// doubled per attempt, capped at RetryBackoffMax. The sleep is a timer
-// select against ctx, so a canceled run never blocks a retry out — an
-// unconditional time.Sleep here would stall the whole completion loop
-// for up to RetryBackoffMax per retry after the client is gone.
-func (e *Engine) backoff(ctx context.Context, attempt int) error {
+// doubled per attempt, capped at RetryBackoffMax.
+//
+// With a single live run the sleep is a timer select against that run's
+// ctx, so a canceled solo run never blocks a retry out — an unconditional
+// time.Sleep here would stall the whole completion loop for up to
+// RetryBackoffMax per retry after the client is gone. With several live
+// runs one client's cancellation must not abort the shared retry, so the
+// sweep sleeps the (capped, ≤RetryBackoffMax) delay and picks
+// cancellations up at the next poll point.
+func (e *Engine) backoff(batch []*runState, attempt int) error {
+	var sole *runState
+	alive := 0
+	for _, r := range batch {
+		if !r.finished {
+			alive++
+			sole = r
+		}
+	}
+	if alive == 0 {
+		return errBatchDone
+	}
 	d := e.opts.RetryBackoff
 	if d <= 0 {
-		return ctx.Err()
+		if pollBatch(batch) == 0 {
+			return errBatchDone
+		}
+		return nil
 	}
 	for i := 1; i < attempt && d < e.opts.RetryBackoffMax; i++ {
 		d *= 2
@@ -692,57 +979,52 @@ func (e *Engine) backoff(ctx context.Context, attempt int) error {
 	if max := e.opts.RetryBackoffMax; max > 0 && d > max {
 		d = max
 	}
+	if alive > 1 {
+		time.Sleep(d)
+		if pollBatch(batch) == 0 {
+			return errBatchDone
+		}
+		return nil
+	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-t.C:
 		return nil
-	case <-ctx.Done():
-		return fmt.Errorf("core: run canceled during retry backoff: %w", ctx.Err())
+	case <-sole.ctx.Done():
+		sole.finished = true
+		sole.err = fmt.Errorf("core: run canceled during retry backoff: %w", sole.ctx.Err())
+		return errBatchDone
 	}
 }
 
 // retire moves a processed segment toward the cache pool according to the
-// configured policy.
-func (e *Engine) retire(a algo.Algorithm, s *mem.Segment) {
+// configured policy. Under proactive caching the keep predicate is the
+// union of NeedTileNextIter across the batch's live runs, so a tile stays
+// pooled as long as any co-scheduled query predicts a use for it.
+func (e *Engine) retire(batch []*runState, s *mem.Segment) {
 	switch e.opts.Cache {
 	case CacheNone:
 		e.mm.Release(s)
 	case CacheLRU:
-		e.makeRoomLRU(segBytes(s))
+		e.mm.EvictOldest(segBytes(s))
 		e.mm.Retire(s, nil)
 	default: // CacheProactive
 		keep := func(ref mem.TileRef) bool {
-			return a.NeedTileNextIter(ref.Row, ref.Col)
+			for _, r := range batch {
+				if !r.finished && r.alg.NeedTileNextIter(ref.Row, ref.Col) {
+					return true
+				}
+			}
+			return false
 		}
 		if !e.mm.WouldFit(segBytes(s)) {
 			// Cache analysis happens when the pool is full (Figure 8,
-			// time Ti): evict tiles the algorithm will not need again.
+			// time Ti): evict tiles no live algorithm will need again.
 			e.mm.Evict(keep)
 		}
 		e.mm.Retire(s, keep)
 	}
-}
-
-// makeRoomLRU evicts oldest-first until need bytes fit.
-func (e *Engine) makeRoomLRU(need int64) {
-	if e.mm.WouldFit(need) {
-		return
-	}
-	freed := int64(0)
-	drop := 0
-	for _, ref := range e.mm.CachedTiles() {
-		if e.mm.PoolUsed()-freed+need <= e.mm.PoolCap() {
-			break
-		}
-		freed += int64(len(ref.Data))
-		drop++
-	}
-	i := 0
-	e.mm.Evict(func(mem.TileRef) bool {
-		i++
-		return i > drop
-	})
 }
 
 func segBytes(s *mem.Segment) int64 {

@@ -203,9 +203,9 @@ func TestEngineFaultNoRetries(t *testing.T) {
 	}
 }
 
-// makeRoomLRU's counting closure must evict exactly enough bytes,
+// The LRU retire path (mem.EvictOldest) must evict exactly enough bytes,
 // including the boundary case of a segment larger than the whole pool.
-func TestMakeRoomLRUBoundary(t *testing.T) {
+func TestLRURetireBoundary(t *testing.T) {
 	m, err := mem.NewManager(1000, 400) // segments 400, pool 200
 	if err != nil {
 		t.Fatal(err)
@@ -230,12 +230,14 @@ func TestMakeRoomLRUBoundary(t *testing.T) {
 
 	// Need 100: evicting tiles 1 and 2 (160 bytes) is exactly enough;
 	// tile 3 must survive.
-	e.makeRoomLRU(100)
+	if freed, evicted := m.EvictOldest(100); freed != 160 || evicted != 2 {
+		t.Fatalf("EvictOldest(100) = (%d, %d), want (160, 2)", freed, evicted)
+	}
 	if m.CachedData(1) != nil || m.CachedData(2) != nil {
 		t.Fatal("oldest tiles not evicted")
 	}
 	if m.CachedData(3) == nil {
-		t.Fatal("makeRoomLRU evicted more than needed")
+		t.Fatal("EvictOldest evicted more than needed")
 	}
 	if used := m.PoolUsed(); used != 30 || used+100 > m.PoolCap() {
 		t.Fatalf("PoolUsed = %d after making room for 100", used)
@@ -243,9 +245,11 @@ func TestMakeRoomLRUBoundary(t *testing.T) {
 
 	// Boundary: an incoming segment bigger than the whole pool evicts
 	// everything, and the subsequent Retire drops the oversized tile.
-	e.makeRoomLRU(300)
+	if freed, evicted := m.EvictOldest(300); freed != 30 || evicted != 1 {
+		t.Fatalf("EvictOldest(300) = (%d, %d), want (30, 1)", freed, evicted)
+	}
 	if m.PoolUsed() != 0 {
-		t.Fatalf("PoolUsed = %d, want 0 after oversized makeRoomLRU", m.PoolUsed())
+		t.Fatalf("PoolUsed = %d, want 0 after oversized EvictOldest", m.PoolUsed())
 	}
 	before := m.Stats().DroppedTiles
 	s := m.Acquire()
@@ -257,12 +261,18 @@ func TestMakeRoomLRUBoundary(t *testing.T) {
 	checkNoLeakedSegments(t, e)
 }
 
+// soloBatch wraps ctx in a single-run batch for driving sweep internals
+// directly in tests.
+func soloBatch(ctx context.Context) []*runState {
+	return []*runState{{ctx: ctx, stats: &Stats{}, done: make(chan struct{})}}
+}
+
 // The backoff schedule must honor the cap.
 func TestBackoffCapped(t *testing.T) {
-	ctx := context.Background()
+	batch := soloBatch(context.Background())
 	e := &Engine{opts: Options{RetryBackoff: time.Millisecond, RetryBackoffMax: 4 * time.Millisecond}}
 	begin := time.Now()
-	if err := e.backoff(ctx, 10); err != nil { // would be 512ms uncapped
+	if err := e.backoff(batch, 10); err != nil { // would be 512ms uncapped
 		t.Fatal(err)
 	}
 	if elapsed := time.Since(begin); elapsed > 100*time.Millisecond {
@@ -270,7 +280,7 @@ func TestBackoffCapped(t *testing.T) {
 	}
 	e2 := &Engine{opts: Options{}}
 	begin = time.Now()
-	if err := e2.backoff(ctx, 5); err != nil { // zero backoff: no sleep
+	if err := e2.backoff(batch, 5); err != nil { // zero backoff: no sleep
 		t.Fatal(err)
 	}
 	if elapsed := time.Since(begin); elapsed > 50*time.Millisecond {
@@ -284,10 +294,14 @@ func TestBackoffCanceledContext(t *testing.T) {
 	e := &Engine{opts: Options{RetryBackoff: time.Hour, RetryBackoffMax: time.Hour}}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
+	batch := soloBatch(ctx)
 	begin := time.Now()
-	err := e.backoff(ctx, 1)
-	if err == nil || !errors.Is(err, context.Canceled) {
-		t.Fatalf("backoff under canceled ctx = %v, want context.Canceled", err)
+	err := e.backoff(batch, 1)
+	if !errors.Is(err, errBatchDone) {
+		t.Fatalf("backoff under canceled ctx = %v, want errBatchDone", err)
+	}
+	if !errors.Is(batch[0].err, context.Canceled) {
+		t.Fatalf("run err = %v, want context.Canceled", batch[0].err)
 	}
 	if elapsed := time.Since(begin); elapsed > 100*time.Millisecond {
 		t.Fatalf("canceled backoff took %v, want immediate return", elapsed)

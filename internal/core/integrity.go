@@ -36,21 +36,29 @@ func (e *IntegrityError) Unwrap() error { return e.Err }
 // its recorded CRC32C before the data is handed to workers. A mismatch
 // is retried with one synchronous re-read — in-flight corruption (a
 // flipped bit on the bus, a bad DMA) goes away on re-read, media rot
-// does not — and a second mismatch fails the run with *IntegrityError.
-// No-op on graphs without checksums (v1 format).
-func (e *Engine) verifySegment(plan *segmentPlan, seg *mem.Segment, stats *Stats) error {
+// does not — and a second mismatch fails the sweep with *IntegrityError.
+// Verification and mismatch counts are attributed to the runs interested
+// in each tile. No-op on graphs without checksums (v1 format).
+func (e *Engine) verifySegment(batch []*runState, plan *segmentPlan, seg *mem.Segment) error {
 	if !e.g.Checksummed() {
 		return nil
+	}
+	statMasked := func(mask uint64, f func(*Stats)) {
+		for j, r := range batch {
+			if mask&(1<<uint(j)) != 0 && !r.finished {
+				f(r.stats)
+			}
+		}
 	}
 	for _, pt := range plan.tiles {
 		data := seg.Buf[pt.bufOff : pt.bufOff+pt.n]
 		want := e.g.TileChecksum(pt.diskIdx)
-		stats.TilesVerified++
+		statMasked(pt.mask, func(st *Stats) { st.TilesVerified++ })
 		got := tile.Checksum(data)
 		if got == want {
 			continue
 		}
-		stats.ChecksumMismatches++
+		statMasked(pt.mask, func(st *Stats) { st.ChecksumMismatches++ })
 		off, _ := e.g.TileByteRange(pt.diskIdx)
 		if err := e.array.ReadSync(off, data); err == nil {
 			if got = tile.Checksum(data); got == want {

@@ -116,6 +116,15 @@ type Options struct {
 	// Trace, when non-nil, receives one diagnostic line per iteration
 	// (tiles processed / cached / skipped, bytes read, IO wait, compute).
 	Trace io.Writer
+
+	// MaxConcurrentRuns caps how many algorithm runs a Scheduler
+	// co-schedules onto one shared SCR sweep (1..64; the per-tile
+	// interest set is a 64-bit mask). Solo Engine.Run ignores it.
+	MaxConcurrentRuns int
+	// MaxQueuedRuns bounds the Scheduler's admission wait queue; a run
+	// arriving with the batch and the queue both full is rejected with
+	// ErrQueueFull (servers surface 429). Zero queues nothing.
+	MaxQueuedRuns int
 }
 
 // HDDTier describes the slow tier of a tiered store.
@@ -144,6 +153,9 @@ func DefaultOptions() Options {
 		MaxRetries:    3,
 		Disks:         8,
 		StripeSize:    storage.DefaultStripeSize,
+
+		MaxConcurrentRuns: 4,
+		MaxQueuedRuns:     64,
 	}
 }
 
@@ -162,6 +174,15 @@ func (o *Options) normalize() error {
 	}
 	if o.MaxRetries < 0 {
 		o.MaxRetries = 0
+	}
+	if o.MaxConcurrentRuns <= 0 {
+		o.MaxConcurrentRuns = 1
+	}
+	if o.MaxConcurrentRuns > 64 {
+		o.MaxConcurrentRuns = 64 // one interest bit per run
+	}
+	if o.MaxQueuedRuns < 0 {
+		o.MaxQueuedRuns = 0
 	}
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = 100 * time.Microsecond
@@ -243,6 +264,13 @@ type Stats struct {
 	// Faults holds the injected-fault counters for this run when
 	// Options.Fault is set (zero otherwise).
 	Faults storage.FaultStats
+
+	// QueueWait is how long the run waited for Scheduler admission before
+	// its first iteration (zero for solo runs and immediate admissions).
+	QueueWait time.Duration
+	// SharedRuns is the peak number of runs co-scheduled on this run's
+	// sweep batch, itself included (1 = it effectively ran solo).
+	SharedRuns int
 
 	MetadataBytes int64
 	Mem           mem.Stats

@@ -35,7 +35,7 @@ func TestPlanSegmentsCoversAllTiles(t *testing.T) {
 			toFetch = append(toFetch, i)
 		}
 	}
-	plans := e.planSegments(toFetch)
+	plans := e.planSegments(toFetch, nil)
 	if len(plans) == 0 {
 		t.Fatal("no plans")
 	}
@@ -78,7 +78,7 @@ func TestPlanSegmentsMergesContiguousRuns(t *testing.T) {
 	}
 	// Only contiguous when no empty tiles sit between; verify at least
 	// that runs never exceed tiles and that adjacent tiles share runs.
-	plans := e.planSegments(toFetch)
+	plans := e.planSegments(toFetch, nil)
 	for _, p := range plans {
 		if len(p.runs) > len(p.tiles) {
 			t.Fatalf("%d runs for %d tiles", len(p.runs), len(p.tiles))
@@ -95,7 +95,7 @@ func TestPlanSegmentsGapsSplitRuns(t *testing.T) {
 			toFetch = append(toFetch, i)
 		}
 	}
-	plans := e.planSegments(toFetch)
+	plans := e.planSegments(toFetch, nil)
 	for _, p := range plans {
 		for _, r := range p.runs {
 			// Each run must map exactly onto whole planned tiles.
@@ -116,7 +116,7 @@ func TestPlanSegmentsGapsSplitRuns(t *testing.T) {
 
 func TestPlanSegmentsEmptyInput(t *testing.T) {
 	e := planEngine(t)
-	if plans := e.planSegments(nil); len(plans) != 0 {
+	if plans := e.planSegments(nil, nil); len(plans) != 0 {
 		t.Fatalf("empty fetch produced %d plans", len(plans))
 	}
 }

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/gwu-systems/gstore/internal/algo"
+)
+
+// ErrQueueFull is returned by Scheduler.Run when the batch and the
+// admission queue are both at capacity; servers surface it as HTTP 429.
+var ErrQueueFull = errors.New("core: run queue full")
+
+// ErrSchedulerClosed is returned by Scheduler.Run after Close.
+var ErrSchedulerClosed = errors.New("core: scheduler closed")
+
+// Scheduler admits up to Options.MaxConcurrentRuns algorithm runs onto
+// one engine and drives them through a *shared* slide-cache-rewind
+// sweep: each iteration plans a single tile stream over the union of the
+// co-scheduled algorithms' NeedTileThisIter sets, dispatches every
+// fetched tile once per interested run, and retires segments under the
+// union of their NeedTileNextIter predicates. In a semi-external store
+// the tile stream is the scarce resource; sharing one pass across N
+// queries is what lets aggregate throughput scale with concurrency
+// instead of degrading linearly (FlashGraph's page cache and
+// GraphChi-DB's online serving make the same argument).
+//
+// Runs submitted while a sweep is mid-iteration join at the next
+// iteration boundary (the join barrier), so every run still sees each of
+// its own iterations over a complete tile pass and results are identical
+// to solo execution. Runs beyond MaxConcurrentRuns wait in a bounded
+// FIFO queue (context-aware); beyond MaxQueuedRuns they are rejected
+// with ErrQueueFull.
+//
+// A Scheduler owns its engine's sweep: solo Engine.Run must not be
+// called concurrently with Scheduler.Run on the same engine.
+type Scheduler struct {
+	e        *Engine
+	maxRuns  int
+	maxQueue int
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signals sweepLoop exit (Close waits on it)
+	pending  []*runState
+	queue    []*queuedRun
+	active   int // admitted runs: in the batch or in pending
+	sweeping bool
+	closed   bool
+}
+
+// queuedRun is one run waiting for admission.
+type queuedRun struct {
+	r        *runState
+	admit    chan struct{} // closed on admission or rejection
+	err      error         // set before admit closes when rejected
+	admitted bool
+	enqueued time.Time
+}
+
+// NewScheduler wraps e. Concurrency limits come from the engine's
+// options (MaxConcurrentRuns, MaxQueuedRuns).
+func NewScheduler(e *Engine) *Scheduler {
+	s := &Scheduler{e: e, maxRuns: e.opts.MaxConcurrentRuns, maxQueue: e.opts.MaxQueuedRuns}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// QueueDepth reports how many runs are currently waiting for admission.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Run executes a through the shared sweep and blocks until it finishes.
+// Semantics match Engine.Run: *BadRequestError for Init failures, an
+// error wrapping ctx.Err() on cancellation (whether canceled in the
+// queue or mid-sweep), partial stats alongside an *IntegrityError, and
+// (stats, nil) on success. ErrQueueFull reports admission overflow
+// without running anything.
+func (s *Scheduler) Run(ctx context.Context, a algo.Algorithm) (*Stats, error) {
+	r, err := s.e.prepare(ctx, a)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	switch {
+	case s.closed:
+		s.mu.Unlock()
+		return nil, ErrSchedulerClosed
+	case s.active < s.maxRuns:
+		s.admitLocked(r)
+		s.mu.Unlock()
+	case len(s.queue) >= s.maxQueue:
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	default:
+		qr := &queuedRun{r: r, admit: make(chan struct{}), enqueued: time.Now()}
+		s.queue = append(s.queue, qr)
+		s.mu.Unlock()
+		select {
+		case <-qr.admit:
+			if qr.err != nil {
+				return nil, qr.err
+			}
+		case <-ctx.Done():
+			s.mu.Lock()
+			if !qr.admitted {
+				for i, q := range s.queue {
+					if q == qr {
+						s.queue = append(s.queue[:i], s.queue[i+1:]...)
+						break
+					}
+				}
+				s.mu.Unlock()
+				return nil, fmt.Errorf("core: run canceled while queued: %w", ctx.Err())
+			}
+			// Admitted in the race window: the sweep owns the run now and
+			// will finish it as canceled at its next poll point.
+			s.mu.Unlock()
+		}
+	}
+
+	<-r.done
+	if r.err != nil {
+		var ie *IntegrityError
+		if errors.As(r.err, &ie) {
+			return r.stats, r.err
+		}
+		return nil, r.err
+	}
+	return r.stats, nil
+}
+
+// admitLocked moves a prepared run into the pending set and makes sure a
+// sweep loop is driving. Callers hold s.mu.
+func (s *Scheduler) admitLocked(r *runState) {
+	s.active++
+	s.pending = append(s.pending, r)
+	if !s.sweeping {
+		s.sweeping = true
+		go s.sweepLoop()
+	}
+}
+
+// Close rejects every queued run, refuses new submissions, and waits for
+// the in-flight sweep to drain (admitted runs finish under their own
+// contexts; a server shutting down cancels those first). The engine is
+// not closed; that stays the caller's job.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		for _, qr := range s.queue {
+			qr.err = ErrSchedulerClosed
+			close(qr.admit)
+		}
+		s.queue = nil
+	}
+	for s.sweeping {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// sweepLoop drives shared sweeps until no admitted runs remain. One loop
+// goroutine exists at a time; it exits when the batch drains and is
+// relaunched by the next admission.
+func (s *Scheduler) sweepLoop() {
+	e := s.e
+	// A fresh batch lifecycle starts with an empty pool, exactly like a
+	// solo Run; within the loop's lifetime the warm pool carries over
+	// between iterations (and into newly joining runs, which is the
+	// point of sharing).
+	e.mm.Clear()
+	var batch []*runState
+
+	for {
+		// Join barrier: drop finished runs, absorb everything admitted
+		// since the last iteration. New runs enter only here, so each
+		// sees complete iterations and results match solo execution.
+		s.mu.Lock()
+		live := batch[:0]
+		for _, r := range batch {
+			if !r.finished {
+				live = append(live, r)
+			}
+		}
+		batch = live
+		batch = append(batch, s.pending...)
+		s.pending = s.pending[:0]
+		if len(batch) == 0 {
+			s.sweeping = false
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		if len(batch) > 64 {
+			// Cannot happen (maxRuns ≤ 64 bounds active), but the
+			// interest masks hold 64 bits; fail loudly over corrupting
+			// them.
+			panic("core: sweep batch exceeds 64 runs")
+		}
+		s.mu.Unlock()
+
+		// Batch occupancy: every rider records the peak company it kept.
+		for _, r := range batch {
+			if n := len(batch); n > r.stats.SharedRuns {
+				r.stats.SharedRuns = n
+			}
+		}
+
+		if pollBatch(batch) == 0 {
+			s.completeFinished(batch)
+			continue
+		}
+
+		for _, r := range batch {
+			if !r.finished {
+				r.alg.BeforeIteration(r.iter)
+			}
+		}
+
+		err := e.sweepIteration(batch)
+		switch {
+		case err == nil:
+		case errors.Is(err, errBatchDone):
+			// Every run finished (canceled) mid-sweep; outcomes are on
+			// the runStates already.
+			s.completeFinished(batch)
+			continue
+		default:
+			// Sweep-fatal: storage or integrity failure poisons every
+			// run that was riding the stream.
+			var ie *IntegrityError
+			integrity := errors.As(err, &ie)
+			for _, r := range batch {
+				if r.finished {
+					continue
+				}
+				if integrity {
+					r.stats.IntegrityErrors++
+				}
+				r.finished = true
+				r.err = err
+			}
+			s.completeFinished(batch)
+			continue
+		}
+
+		for _, r := range batch {
+			if r.finished {
+				continue
+			}
+			r.stats.Iterations = r.iter + 1
+			converged := r.alg.AfterIteration(r.iter)
+			r.iter++
+			if converged || r.iter >= e.opts.MaxIterations {
+				r.finished = true
+			}
+		}
+		s.completeFinished(batch)
+	}
+}
+
+// completeFinished seals every finished-but-uncompleted run of the
+// batch: final stats, fractional I/O attribution rounded to integers,
+// the waiter released, and the freed slot handed to the queue head.
+func (s *Scheduler) completeFinished(batch []*runState) {
+	for _, r := range batch {
+		if !r.finished || r.completed {
+			continue
+		}
+		r.completed = true
+		st := r.stats
+		st.Elapsed = time.Since(r.began)
+		st.MetadataBytes = r.alg.MetadataBytes()
+		st.Mem = s.e.mm.Stats()
+		st.Storage = s.e.array.Stats()
+		st.BytesRead = int64(math.Round(r.bytesFrac))
+		st.IORequests = int64(math.Round(r.reqFrac))
+
+		s.mu.Lock()
+		s.active--
+		for s.active < s.maxRuns && len(s.queue) > 0 {
+			qr := s.queue[0]
+			s.queue = s.queue[1:]
+			qr.admitted = true
+			qr.r.stats.QueueWait = time.Since(qr.enqueued)
+			s.admitLocked(qr.r)
+			close(qr.admit)
+		}
+		s.mu.Unlock()
+		close(r.done)
+	}
+}

@@ -45,6 +45,18 @@ type Config struct {
 	Out io.Writer
 	// Quick shrinks the workloads for smoke runs.
 	Quick bool
+
+	// BenchClients is the closed-loop client count of the "serve"
+	// runner (default 8).
+	BenchClients int
+	// BenchDuration is how long each serving phase runs (default 5s,
+	// quick 2s).
+	BenchDuration time.Duration
+	// Target, when set, points the "serve" runner at a running gstored
+	// (e.g. http://localhost:8080) instead of an in-process server.
+	Target string
+	// BenchOut, when set, receives the "serve" runner's JSON report.
+	BenchOut string
 }
 
 // Defaults fills unset fields.
@@ -110,6 +122,7 @@ func All() []Runner {
 		{"msbfs", "Extension: multi-source BFS I/O sharing ([22])", ExtMSBFS},
 		{"relabel", "Extension: degree-sorted vertex relabeling", ExtRelabel},
 		{"sweep", "Extension: thread-count sweep of the chunked dispatcher", ThreadSweep},
+		{"serve", "Extension: closed-loop concurrent serving, serialized vs shared scan", ServeBench},
 	}
 }
 

@@ -1,0 +1,257 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/gwu-systems/gstore/internal/core"
+	"github.com/gwu-systems/gstore/internal/report"
+	"github.com/gwu-systems/gstore/internal/server"
+	"github.com/gwu-systems/gstore/internal/tile"
+)
+
+// serveResult is one closed-loop serving phase.
+type serveResult struct {
+	Mode          string  `json:"mode"`
+	Clients       int     `json:"clients"`
+	DurationSec   float64 `json:"duration_seconds"`
+	Queries       int64   `json:"queries"`
+	Errors        int64   `json:"errors"`
+	QPS           float64 `json:"qps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	BytesRead     int64   `json:"bytes_read"`
+	BytesPerQuery float64 `json:"bytes_per_query"`
+}
+
+// serveBenchReport is the BENCH_pr5.json artifact: serialized vs
+// shared-scan serving, the headline speedup, and the per-query I/O
+// ratio (< 1 means the shared sweep read less per query).
+type serveBenchReport struct {
+	Serialized *serveResult `json:"serialized,omitempty"`
+	Shared     *serveResult `json:"shared"`
+	SpeedupQPS float64      `json:"speedup_qps,omitempty"`
+	BytesRatio float64      `json:"bytes_ratio,omitempty"`
+}
+
+// ServeBench drives gstored's serving path with a closed loop of
+// concurrent clients mixing BFS and PageRank queries against one graph.
+// Self-contained (no Target), it runs two phases over an in-process
+// server — runs serialized (MaxConcurrentRuns=1) vs co-scheduled on the
+// shared sweep (MaxConcurrentRuns=Clients) — and reports the QPS
+// speedup and per-query bytes ratio the scheduler buys. With Target set
+// it load-tests a running gstored instead (one phase, whatever that
+// daemon's limits are).
+func ServeBench(c *Config) error {
+	clients := c.BenchClients
+	if clients <= 0 {
+		clients = 8
+	}
+	dur := c.BenchDuration
+	if dur <= 0 {
+		dur = 5 * time.Second
+		if c.Quick {
+			dur = 2 * time.Second
+		}
+	}
+
+	rep := &serveBenchReport{}
+	if c.Target != "" {
+		res, err := serveLoop(c.Target, "bench", "remote", clients, dur)
+		if err != nil {
+			return err
+		}
+		rep.Shared = res
+		printServeReport(c.Out, clients, rep)
+	} else {
+		tg, err := c.tileGraph("servebench", c.kronCfg(), c.stdTileOpts())
+		if err != nil {
+			return err
+		}
+		defer tg.Close()
+		base := tile.BasePath(c.WorkDir, "servebench")
+		opts := c.diskOpts(tg)
+
+		serialized, err := servePhase(base, opts, "serialized", 1, clients, dur)
+		if err != nil {
+			return err
+		}
+		shared, err := servePhase(base, opts, "shared", clients, clients, dur)
+		if err != nil {
+			return err
+		}
+		rep.Serialized, rep.Shared = serialized, shared
+		if serialized.QPS > 0 {
+			rep.SpeedupQPS = shared.QPS / serialized.QPS
+		}
+		if serialized.BytesPerQuery > 0 {
+			rep.BytesRatio = shared.BytesPerQuery / serialized.BytesPerQuery
+		}
+		printServeReport(c.Out, clients, rep)
+	}
+
+	if c.BenchOut != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(c.BenchOut, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.Out, "wrote %s\n", c.BenchOut)
+	}
+	return nil
+}
+
+// printServeReport renders the phases as one aligned table plus the
+// headline ratios.
+func printServeReport(out io.Writer, clients int, rep *serveBenchReport) {
+	tb := report.New(fmt.Sprintf("closed-loop serving, %d clients (mixed BFS + PageRank)", clients),
+		"mode", "queries", "QPS", "p50 ms", "p95 ms", "p99 ms", "MB/query", "errors")
+	for _, r := range []*serveResult{rep.Serialized, rep.Shared} {
+		if r == nil {
+			continue
+		}
+		tb.Row(r.Mode, r.Queries, fmt.Sprintf("%.1f", r.QPS),
+			fmt.Sprintf("%.2f", r.P50Ms), fmt.Sprintf("%.2f", r.P95Ms),
+			fmt.Sprintf("%.2f", r.P99Ms),
+			fmt.Sprintf("%.3f", r.BytesPerQuery/(1<<20)), r.Errors)
+	}
+	tb.Fprint(out)
+	if rep.SpeedupQPS > 0 {
+		fmt.Fprintf(out, "speedup %.2fx QPS, %.2fx bytes/query\n",
+			rep.SpeedupQPS, rep.BytesRatio)
+	}
+}
+
+// servePhase serves the converted graph in-process with the given
+// concurrency limit and runs one closed loop against it.
+func servePhase(basePath string, opts core.Options, mode string, maxRuns, clients int, dur time.Duration) (*serveResult, error) {
+	opts.MaxConcurrentRuns = maxRuns
+	opts.MaxQueuedRuns = 4 * clients // closed loop must queue, not bounce
+	srv := server.New()
+	defer srv.Close()
+	if err := srv.AddGraph("bench", basePath, opts); err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	return serveLoop(ts.URL, "bench", mode, clients, dur)
+}
+
+// serveLoop runs the closed loop: each client alternates PageRank and
+// BFS requests back to back for the duration, then latencies merge into
+// percentiles and per-query bytes come from the storage counter at
+// /metrics.
+func serveLoop(baseURL, graph, mode string, clients int, dur time.Duration) (*serveResult, error) {
+	url := strings.TrimRight(baseURL, "/") + "/graphs/" + graph
+	startBytes, err := scrapeCounter(baseURL, "gstore_storage_bytes_read_total", graph)
+	if err != nil {
+		return nil, fmt.Errorf("scraping %s/metrics before the loop: %w", baseURL, err)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errCount atomic.Int64
+		lats     = make([][]int64, clients)
+	)
+	begin := time.Now()
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			// Half the clients rank, half traverse; every client uses its
+			// own BFS root so the union need set exercises selective fetch.
+			prBody := []byte(`{"iterations":5,"top":1}`)
+			bfsBody := []byte(fmt.Sprintf(`{"root":%d}`, ci))
+			for time.Since(begin) < dur {
+				op, body := "/pagerank", prBody
+				if ci%2 == 1 {
+					op, body = "/bfs", bfsBody
+				}
+				qb := time.Now()
+				resp, err := http.Post(url+op, "application/json", bytes.NewReader(body))
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCount.Add(1)
+					continue
+				}
+				lats[ci] = append(lats[ci], int64(time.Since(qb)))
+			}
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	endBytes, err := scrapeCounter(baseURL, "gstore_storage_bytes_read_total", graph)
+	if err != nil {
+		return nil, fmt.Errorf("scraping %s/metrics after the loop: %w", baseURL, err)
+	}
+
+	var all []int64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sorted := sortedCopy(all)
+	n := int64(len(all))
+	res := &serveResult{
+		Mode:        mode,
+		Clients:     clients,
+		DurationSec: elapsed.Seconds(),
+		Queries:     n,
+		Errors:      errCount.Load(),
+		QPS:         float64(n) / elapsed.Seconds(),
+		P50Ms:       float64(percentile(sorted, 0.50)) / 1e6,
+		P95Ms:       float64(percentile(sorted, 0.95)) / 1e6,
+		P99Ms:       float64(percentile(sorted, 0.99)) / 1e6,
+		BytesRead:   endBytes - startBytes,
+	}
+	if n > 0 {
+		res.BytesPerQuery = float64(res.BytesRead) / float64(n)
+	}
+	return res, nil
+}
+
+// scrapeCounter fetches /metrics and returns the value of the named
+// series for the given graph label (0 when the series is absent, as on
+// a server that has not run anything yet).
+func scrapeCounter(baseURL, name, graph string) (int64, error) {
+	resp, err := http.Get(strings.TrimRight(baseURL, "/") + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	want := fmt.Sprintf(`%s{graph=%q}`, name, graph)
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(line, want) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			return 0, fmt.Errorf("parsing %q: %w", line, err)
+		}
+		return int64(v), nil
+	}
+	return 0, nil
+}

@@ -229,6 +229,47 @@ func (m *Manager) Evict(keep func(ref TileRef) bool) int64 {
 	return freed
 }
 
+// EvictOldest makes room for need more bytes by evicting pooled tiles in
+// insertion order — oldest first, the LRU approximation of a pool that is
+// only ever appended to — compacting the survivors left in the same
+// single pass. It returns the bytes freed and the tiles evicted. A need
+// larger than the pool empties it; a need that already fits is a no-op
+// (no compaction, no ref invalidation). All previously returned refs are
+// invalidated when eviction happens.
+func (m *Manager) EvictOldest(need int64) (freed int64, evicted int) {
+	target := int64(len(m.pool)) - need
+	if target < 0 {
+		target = 0
+	}
+	if m.poolUsed <= target {
+		return 0, 0
+	}
+	m.stats.Compactions++
+	var used int64
+	kept := m.poolTiles[:0]
+	for _, ref := range m.poolTiles {
+		if m.poolUsed-freed > target {
+			delete(m.byDisk, ref.DiskIdx)
+			m.stats.EvictedTiles++
+			freed += int64(len(ref.Data))
+			evicted++
+			continue
+		}
+		n := int64(len(ref.Data))
+		dst := m.pool[used : used+n]
+		if n > 0 && &dst[0] != &ref.Data[0] {
+			copy(dst, ref.Data) // memmove-style compaction (§VI-B)
+		}
+		ref.Data = dst
+		m.byDisk[ref.DiskIdx] = len(kept)
+		kept = append(kept, ref)
+		used += n
+	}
+	m.poolTiles = kept
+	m.poolUsed = used
+	return freed, evicted
+}
+
 // Clear drops the whole pool (used between algorithm runs).
 func (m *Manager) Clear() {
 	m.poolTiles = m.poolTiles[:0]

@@ -21,6 +21,11 @@
 // request context, so a disconnected client cancels its run. Run errors
 // are classified: invalid request parameters are 400s, canceled runs are
 // 503s, and engine/storage failures are 500s.
+//
+// Concurrent algorithm requests against one graph are co-scheduled onto
+// a shared tile sweep by a core.Scheduler (up to MaxConcurrentRuns at
+// once, MaxQueuedRuns waiting); when both are full the request is
+// rejected with 429 Too Many Requests.
 package server
 
 import (
@@ -44,12 +49,13 @@ import (
 )
 
 // GraphHandle is one served graph: the open tile store, its engine, and
-// a mutex serializing runs (an engine executes one algorithm at a time).
+// the scheduler that co-schedules concurrent algorithm runs onto the
+// engine's shared tile sweep.
 type GraphHandle struct {
 	Name   string
 	Graph  *tile.Graph
 	engine *core.Engine
-	mu     sync.Mutex
+	sched  *core.Scheduler
 }
 
 // Server routes requests to its graphs.
@@ -112,8 +118,39 @@ func (s *Server) AddGraph(name, basePath string, opts core.Options) error {
 		g.Close()
 		return fmt.Errorf("server: graph %q already loaded", name)
 	}
-	s.graphs[name] = &GraphHandle{Name: name, Graph: g, engine: eng}
+	s.graphs[name] = &GraphHandle{Name: name, Graph: g, engine: eng, sched: core.NewScheduler(eng)}
+	// Register the scheduler series now so they are visible at /metrics
+	// from the first scrape, not only after the first (or first
+	// rejected) run.
+	s.queueDepth(name)
+	s.queueWait(name)
+	s.batchOccupancy(name)
+	s.runsRejected(name)
 	return nil
+}
+
+func (s *Server) queueDepth(graph string) *metrics.Gauge {
+	return s.reg.Gauge("gstore_run_queue_depth",
+		"Runs waiting for scheduler admission, by graph.",
+		metrics.L("graph", graph))
+}
+
+func (s *Server) queueWait(graph string) *metrics.Histogram {
+	return s.reg.Histogram("gstore_run_queue_wait_seconds",
+		"Time runs waited for scheduler admission, by graph.",
+		metrics.DefBuckets, metrics.L("graph", graph))
+}
+
+func (s *Server) batchOccupancy(graph string) *metrics.Histogram {
+	return s.reg.Histogram("gstore_run_batch_occupancy",
+		"Peak number of runs sharing the sweep each run rode, by graph.",
+		occupancyBuckets, metrics.L("graph", graph))
+}
+
+func (s *Server) runsRejected(graph string) *metrics.Counter {
+	return s.reg.Counter("gstore_runs_rejected_total",
+		"Runs rejected because the admission queue was full, by graph.",
+		metrics.L("graph", graph))
 }
 
 // Close releases every graph.
@@ -121,6 +158,7 @@ func (s *Server) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, h := range s.graphs {
+		h.sched.Close()
 		h.engine.Close()
 		h.Graph.Close()
 	}
@@ -351,17 +389,24 @@ func toStats(st *core.Stats) runStats {
 	}
 }
 
-// run serializes algorithm execution on one graph, publishes the run's
-// engine/storage/mem counters, and honors the request context: a client
-// that disconnects mid-run cancels it.
+// occupancyBuckets grades how many runs shared one sweep (1 = solo, up
+// to the 64-run interest-mask ceiling).
+var occupancyBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
+
+// run submits the algorithm to the graph's shared-sweep scheduler,
+// publishes the run's engine/storage/mem counters, and honors the
+// request context: a client that disconnects cancels its run, whether
+// it is queued or mid-sweep.
 func (s *Server) run(ctx context.Context, h *GraphHandle, a algo.Algorithm) (*core.Stats, error) {
-	h.mu.Lock()
-	st, err := h.engine.Run(ctx, a)
-	h.mu.Unlock()
+	st, err := h.sched.Run(ctx, a)
+	s.queueDepth(h.Name).Set(int64(h.sched.QueueDepth()))
 
 	status := "ok"
 	switch {
 	case err == nil:
+	case errors.Is(err, core.ErrQueueFull):
+		status = "rejected"
+		s.runsRejected(h.Name).Inc()
 	case errors.As(err, new(*core.BadRequestError)):
 		status = "bad_request"
 	case errors.As(err, new(*core.IntegrityError)):
@@ -377,20 +422,26 @@ func (s *Server) run(ctx context.Context, h *GraphHandle, a algo.Algorithm) (*co
 		metrics.L("algo", a.Name()),
 		metrics.L("status", status)).Inc()
 	if st != nil {
+		s.queueWait(h.Name).Observe(st.QueueWait.Seconds())
+		s.batchOccupancy(h.Name).Observe(float64(st.SharedRuns))
 		core.PublishStats(s.reg, h.Name, st)
 	}
 	return st, err
 }
 
 // writeRunError maps a Run error onto the right status class: request
-// errors are the client's fault (400), canceled runs mean the server is
-// going away or the client already left (503), detected tile corruption
-// is a 500 naming the damaged tile (the operator's cue to run gstore
-// fsck), and anything else is an engine/storage failure (500).
+// errors are the client's fault (400), admission overflow is
+// backpressure the client should retry later (429), canceled runs mean
+// the server is going away or the client already left (503), detected
+// tile corruption is a 500 naming the damaged tile (the operator's cue
+// to run gstore fsck), and anything else is an engine/storage failure
+// (500).
 func writeRunError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.As(err, new(*core.BadRequestError)):
 		writeError(w, http.StatusBadRequest, "%v", err)
+	case errors.Is(err, core.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, "%v", err)
 	case errors.As(err, new(*core.IntegrityError)):
 		writeError(w, http.StatusInternalServerError, "data integrity failure: %v", err)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):

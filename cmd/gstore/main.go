@@ -8,12 +8,15 @@
 //	gstore bfs -graph data/mygraph -root 0
 //	gstore pagerank -graph data/mygraph -iters 10
 //	gstore wcc -graph data/mygraph
+//	gstore ingest -graph data/mygraph -in mutations.txt
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
@@ -26,6 +29,7 @@ import (
 	gstore "github.com/gwu-systems/gstore"
 	"github.com/gwu-systems/gstore/internal/algo"
 	"github.com/gwu-systems/gstore/internal/core"
+	"github.com/gwu-systems/gstore/internal/delta"
 	"github.com/gwu-systems/gstore/internal/metrics"
 	"github.com/gwu-systems/gstore/internal/report"
 	"github.com/gwu-systems/gstore/internal/storage"
@@ -49,6 +53,8 @@ func main() {
 		err = cmdFsck(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
+	case "ingest":
+		err = cmdIngest(os.Args[2:])
 	case "bfs", "asyncbfs", "pagerank", "wcc", "scc":
 		err = cmdRun(os.Args[1], os.Args[2:])
 	default:
@@ -68,6 +74,7 @@ func usage() {
   gstore verify -graph DIR/NAME
   gstore fsck -graph DIR/NAME
   gstore stats -graph DIR/NAME
+  gstore ingest -graph DIR/NAME [-in FILE|-] [-batch 4096]   (lines: "src dst" inserts, "del src dst" deletes)
   gstore bfs -graph DIR/NAME -root 0 [engine flags]
   gstore bfs -graph DIR/NAME -roots 0,1,2,3   (co-scheduled on one shared scan)
   gstore asyncbfs -graph DIR/NAME -root 0 [engine flags]
@@ -156,9 +163,12 @@ func cmdVerify(args []string) error {
 }
 
 // cmdFsck validates a graph offline — header, start-array monotonicity,
-// per-tile CRC32C checksums, tuple ranges, degree file — and reports
-// every corrupt section and tile it finds. Exit status 0 means the
-// graph passed every applicable check.
+// per-tile CRC32C checksums, tuple ranges, degree file — and, when the
+// graph has a write path on disk, its WAL segments and delta snapshots
+// too. Every corrupt section, tile, segment and snapshot is reported.
+// Exit status 0 means the graph passed every applicable check (a torn
+// WAL tail from a crash is informational, not a failure: replay discards
+// it).
 func cmdFsck(args []string) error {
 	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
 	path := fs.String("graph", "", "graph base path (dir/name)")
@@ -167,11 +177,16 @@ func cmdFsck(args []string) error {
 		return fmt.Errorf("fsck: -graph is required")
 	}
 	r := tile.Fsck(*path)
+	dFindings, dNotes := delta.Fsck(*path)
 	mode := "full (per-tile crc32c)"
 	if !r.Checksummed {
 		mode = "structural only (v1 graph, no checksums)"
 	}
-	if r.OK() {
+	for _, n := range dNotes {
+		fmt.Printf("fsck: note: %s\n", n)
+	}
+	problems := len(r.Findings) + len(dFindings)
+	if r.OK() && len(dFindings) == 0 {
 		fmt.Printf("%s: OK — format v%d, %s; %d tiles, %d tuples checked\n",
 			*path, r.Version, mode, r.TilesChecked, r.TuplesChecked)
 		return nil
@@ -179,11 +194,133 @@ func cmdFsck(args []string) error {
 	for _, f := range r.Findings {
 		fmt.Fprintf(os.Stderr, "fsck: %s\n", f)
 	}
+	for _, f := range dFindings {
+		fmt.Fprintf(os.Stderr, "fsck: %s\n", f)
+	}
 	if r.Truncated {
-		fmt.Fprintf(os.Stderr, "fsck: ... further findings suppressed after the first %d\n",
+		fmt.Fprintf(os.Stderr, "fsck: ... further tile findings suppressed after the first %d\n",
 			len(r.Findings))
 	}
-	return fmt.Errorf("%s: %d problem(s) found", *path, len(r.Findings))
+	return fmt.Errorf("%s: %d problem(s) found", *path, problems)
+}
+
+// cmdIngest streams edge mutations from a text file (or stdin) through
+// the graph's WAL-backed write path: each batch is appended to the WAL
+// (fsynced) before it becomes visible, and a final snapshot flush leaves
+// the store clean for the next open. Lines are "src dst" to insert or
+// "del src dst" to delete; "add src dst" is accepted too; '#' starts a
+// comment.
+func cmdIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	path := fs.String("graph", "", "graph base path (dir/name)")
+	in := fs.String("in", "-", `mutation input file ("-" = stdin)`)
+	batch := fs.Int("batch", 4096, "mutations per WAL record (one atomic, durable batch)")
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("ingest: -graph is required")
+	}
+	if *batch <= 0 {
+		*batch = 4096
+	}
+	var r io.Reader = os.Stdin
+	if *in != "-" && *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	g, err := gstore.Open(*path)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	ds, err := delta.Open(g, *path, delta.Options{})
+	if err != nil {
+		return err
+	}
+	if st := ds.Stats(); st.ReplayRecords > 0 {
+		fmt.Printf("recovered %d mutation(s) in %d WAL record(s) from a previous run\n",
+			st.ReplayOps, st.ReplayRecords)
+	}
+
+	start := time.Now()
+	var total, changed int64
+	var ops []delta.Op
+	apply := func() error {
+		if len(ops) == 0 {
+			return nil
+		}
+		n, err := ds.Apply(ops)
+		if err != nil {
+			return err
+		}
+		total += int64(len(ops))
+		changed += int64(n)
+		ops = ops[:0]
+		return nil
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		op := delta.Op{}
+		switch {
+		case len(fields) == 2:
+		case len(fields) == 3 && fields[0] == "add":
+			fields = fields[1:]
+		case len(fields) == 3 && fields[0] == "del":
+			op.Del = true
+			fields = fields[1:]
+		default:
+			return fmt.Errorf("ingest: line %d: want \"src dst\", \"add src dst\" or \"del src dst\", got %q", line, text)
+		}
+		s64, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return fmt.Errorf("ingest: line %d: bad src %q: %w", line, fields[0], err)
+		}
+		d64, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return fmt.Errorf("ingest: line %d: bad dst %q: %w", line, fields[1], err)
+		}
+		op.Src, op.Dst = uint32(s64), uint32(d64)
+		ops = append(ops, op)
+		if len(ops) >= *batch {
+			if err := apply(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if err := apply(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	// Close flushes the delta layer to a checksummed snapshot and
+	// truncates the WAL, so the next open needs no replay.
+	if err := ds.Close(); err != nil {
+		return err
+	}
+	st := ds.Stats()
+	rate := float64(total) / elapsed.Seconds()
+	fmt.Printf("ingested %d mutation(s) (%d effective) in %v: %.0f mutations/s\n",
+		total, changed, elapsed.Round(time.Millisecond), rate)
+	fmt.Printf("delta layer: %d tile(s) touched, %d inserted tuple(s), %d masked key(s), snapshot flushed\n",
+		st.DeltaTiles, st.InsTuples, st.MaskedKeys)
+	return nil
 }
 
 func cmdStats(args []string) error {
@@ -388,6 +525,14 @@ func cmdRun(alg string, args []string) error {
 		return err
 	}
 	defer e.Close()
+	// Attach the graph's write path so runs see base ∪ delta; on a graph
+	// that was never mutated this loads nothing and writes nothing. A WAL
+	// left by a crashed ingest is replayed here (read-side recovery).
+	ds, err := delta.Open(g, *path, delta.Options{})
+	if err != nil {
+		return err
+	}
+	e.SetDeltaStore(ds)
 
 	if len(rootList) > 0 {
 		return runMultiBFS(ctx, g, e, rootList)

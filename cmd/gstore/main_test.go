@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -78,6 +79,31 @@ func TestCLIEndToEnd(t *testing.T) {
 	out = run(gstoreBin, "wcc", "-graph", "./k")
 	if !strings.Contains(out, "components") {
 		t.Fatalf("wcc output: %s", out)
+	}
+
+	// Mutate through the write path: star every vertex to 0, so WCC must
+	// collapse to one component, then fsck must stay clean (WAL truncated,
+	// delta snapshot checksummed).
+	var muts strings.Builder
+	muts.WriteString("# star to vertex 0\n")
+	for v := 1; v < 2048; v++ {
+		fmt.Fprintf(&muts, "0 %d\n", v)
+	}
+	muts.WriteString("del 0 1\nadd 0 1\n")
+	if err := os.WriteFile(filepath.Join(dir, "muts.txt"), []byte(muts.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = run(gstoreBin, "ingest", "-graph", "./k", "-in", "muts.txt", "-batch", "500")
+	if !strings.Contains(out, "ingested 2049 mutation(s)") {
+		t.Fatalf("ingest output: %s", out)
+	}
+	out = run(gstoreBin, "wcc", "-graph", "./k")
+	if !strings.Contains(out, "wcc: 1 components") {
+		t.Fatalf("wcc after ingest: %s", out)
+	}
+	out = run(gstoreBin, "fsck", "-graph", "./k")
+	if !strings.Contains(out, "OK") {
+		t.Fatalf("fsck after ingest: %s", out)
 	}
 
 	// A directed graph for scc.

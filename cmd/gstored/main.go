@@ -8,8 +8,14 @@
 //
 // Endpoints: GET /healthz, GET /metrics (Prometheus text), GET /graphs,
 // GET /graphs/{name}, POST /graphs/{name}/{bfs|msbfs|pagerank|wcc|scc},
-// and (unless -pprof=false) the net/http/pprof profiling handlers under
-// /debug/pprof/.
+// POST /graphs/{name}/edges (batch edge mutations through the WAL-backed
+// write path; disabled by -readonly), and (unless -pprof=false) the
+// net/http/pprof profiling handlers under /debug/pprof/.
+//
+// Unless -readonly is set, opening each graph recovers its write path:
+// the newest delta snapshot is loaded and any WAL records a previous
+// process acked but had not yet flushed are replayed, so no acknowledged
+// mutation is lost to a crash.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: request contexts
 // are canceled (which cancels in-flight engine runs), the listener
@@ -55,6 +61,7 @@ func main() {
 	disks := flag.Int("disks", 8, "simulated SSD count")
 	bw := flag.Float64("bandwidth", 0, "per-disk bandwidth in bytes/s (0 = unthrottled)")
 	pprofOn := flag.Bool("pprof", true, "serve net/http/pprof under /debug/pprof/")
+	readOnly := flag.Bool("readonly", false, "serve without the write path: no WAL recovery, POST /edges refused")
 	faultRate := flag.Float64("faultrate", 0, "injected read-error probability in [0,1]")
 	faultShort := flag.Float64("faultshort", 0, "injected short-read probability in [0,1]")
 	faultCorrupt := flag.Float64("faultcorrupt", 0, "injected silent-corruption probability in [0,1]")
@@ -78,6 +85,7 @@ func main() {
 	defer stop()
 
 	srv := server.New()
+	srv.ReadOnly = *readOnly
 	defer srv.Close()
 	for _, spec := range graphs {
 		name, path, ok := strings.Cut(spec, "=")

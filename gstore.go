@@ -30,6 +30,7 @@ import (
 
 	"github.com/gwu-systems/gstore/internal/algo"
 	"github.com/gwu-systems/gstore/internal/core"
+	"github.com/gwu-systems/gstore/internal/delta"
 	"github.com/gwu-systems/gstore/internal/gen"
 	"github.com/gwu-systems/gstore/internal/graph"
 	"github.com/gwu-systems/gstore/internal/tile"
@@ -160,6 +161,11 @@ func NewEngine(g *Graph, opts EngineOptions) (*Engine, error) {
 // Close releases the engine's workers and storage.
 func (e *Engine) Close() { e.e.Close() }
 
+// SetDeltaStore attaches a write path opened with OpenDelta; subsequent
+// runs read base ∪ delta (inserted edges visible, deleted edges masked)
+// with bit-identical results to a fresh conversion of the mutated graph.
+func (e *Engine) SetDeltaStore(ds *DeltaStore) { e.e.SetDeltaStore(ds) }
+
 // BFS runs breadth-first search from root and returns per-vertex depths
 // (-1 = unreached) plus run statistics.
 func (e *Engine) BFS(root uint32) ([]int32, *Stats, error) {
@@ -249,6 +255,38 @@ func (e *Engine) SCC() ([]uint32, *Stats, error) {
 // HDDTier configures the tiered SSD+HDD store of the paper's future work;
 // assign one to EngineOptions.HDD.
 type HDDTier = core.HDDTier
+
+// EdgeOp is one edge mutation: an insert (Del false) or a delete.
+type EdgeOp = delta.Op
+
+// DeltaStore is a graph's mutable write path: every batch of edge
+// mutations is appended to a segmented, checksummed write-ahead log
+// (fsynced before Apply returns) and published to an in-memory delta
+// layer that engines merge with the base tiles at read time. Flush
+// persists the delta layer as a checksummed snapshot and truncates the
+// WAL; Open recovers snapshot + WAL after a crash.
+type DeltaStore = delta.Store
+
+// DeltaOptions configures a graph's write path.
+type DeltaOptions = delta.Options
+
+// DeltaStats summarizes a write path: sequence numbers, WAL activity,
+// delta-layer shape and crash-recovery counts.
+type DeltaStats = delta.Stats
+
+// OpenDelta opens (and, after a crash, recovers) the mutable write path
+// of g. Attach it to an engine to make mutations visible to runs.
+func OpenDelta(g *Graph, opts DeltaOptions) (*DeltaStore, error) {
+	return delta.Open(g, g.BasePath(), opts)
+}
+
+// DeltaFsck validates the write path at basePath offline — WAL segment
+// framing and CRCs, delta snapshot checksums and structure. Fatal
+// problems come back as findings; informational conditions (a torn WAL
+// tail that replay will discard) come back as notes.
+func DeltaFsck(basePath string) (findings []FsckFinding, notes []string) {
+	return delta.Fsck(basePath)
+}
 
 // MemGraph is a fully-loaded in-memory graph (no storage pipeline).
 type MemGraph struct {

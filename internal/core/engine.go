@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/gwu-systems/gstore/internal/algo"
+	"github.com/gwu-systems/gstore/internal/delta"
 	"github.com/gwu-systems/gstore/internal/mem"
 	"github.com/gwu-systems/gstore/internal/metrics"
 	"github.com/gwu-systems/gstore/internal/storage"
@@ -50,6 +51,14 @@ type Engine struct {
 	opts  Options
 	array storage.Device
 	mm    *mem.Manager
+
+	// deltaStore, when set, layers WAL-backed mutations over the base
+	// graph: every dispatched tile is merged with the store's current
+	// view (deleted edges masked, inserted edges appended) and degree
+	// queries see the overlay. The base tile files — and with them the
+	// cache pool, checksums, and selective-fetch planning — stay
+	// untouched.
+	deltaStore *delta.Store
 
 	work chan workItem
 	wg   sync.WaitGroup
@@ -102,6 +111,12 @@ func (e *Engine) prepare(ctx context.Context, a algo.Algorithm) (*runState, erro
 		if err != nil {
 			return nil, err
 		}
+	}
+	if e.deltaStore != nil {
+		// The overlay reflects mutations applied before the run began;
+		// later batches become visible at iteration boundaries through
+		// the per-sweep view capture.
+		degrees = e.deltaStore.View().Degrees(degrees)
 	}
 	actx := &algo.Context{
 		NumVertices: e.g.Meta.NumVertices,
@@ -265,6 +280,14 @@ func NewEngine(g *tile.Graph, opts Options) (*Engine, error) {
 	return e, nil
 }
 
+// SetDeltaStore attaches (or, with nil, detaches) a mutable delta layer.
+// Must not be called while a run is in flight; the next sweep iteration
+// picks up the store's current view.
+func (e *Engine) SetDeltaStore(ds *delta.Store) { e.deltaStore = ds }
+
+// DeltaStore returns the attached delta layer, if any.
+func (e *Engine) DeltaStore() *delta.Store { return e.deltaStore }
+
 // Close stops the workers and the storage array. The engine must not be
 // running.
 func (e *Engine) Close() {
@@ -329,12 +352,26 @@ func (e *Engine) dispatchTile(batch []*runState, mask uint64, ref mem.TileRef, f
 	if share == 0 {
 		return
 	}
+	// Read-time merge: a tile with delta data is dispatched as
+	// base∪delta — masked base tuples dropped, inserted tuples appended.
+	// The merged buffer is fresh, so pooled cache bytes stay the pristine
+	// (checksum-verified) base data and survive view changes.
+	deltaTile := false
+	if td := e.scratch.view.Tile(ref.DiskIdx); td != nil {
+		rb, _ := e.g.Layout.VertexRange(ref.Row)
+		cb, _ := e.g.Layout.VertexRange(ref.Col)
+		ref.Data = td.Merge(ref.Data, e.g.Meta.SNB, rb, cb)
+		deltaTile = true
+	}
 	for j, r := range batch {
 		if mask&(1<<uint(j)) == 0 || r.finished {
 			continue
 		}
 		r.stats.Chunks += e.dispatch(r.alg, r.chunked, ref, done)
 		r.stats.TilesProcessed++
+		if deltaTile {
+			r.stats.DeltaTiles++
+		}
 		if fetchedBytes > 0 {
 			r.stats.TilesFetched++
 			r.bytesFrac += float64(fetchedBytes) / float64(share)
@@ -483,6 +520,11 @@ type sweepScratch struct {
 	fetch     []int
 	fetchMask []uint64
 	inCache   map[int]bool
+	// view is the delta snapshot captured at the top of the current
+	// sweep iteration (nil without a delta store); dispatchTile merges
+	// it into every tile it fans out, so mutations become visible at
+	// iteration boundaries and never mid-iteration.
+	view *delta.View
 
 	plans  []*segmentPlan
 	nplans int
@@ -522,6 +564,10 @@ func (sc *sweepScratch) nextPlan() *segmentPlan {
 func (e *Engine) sweepIteration(batch []*runState) error {
 	sc := &e.scratch
 	layout := e.g.Layout
+	sc.view = nil
+	if e.deltaStore != nil {
+		sc.view = e.deltaStore.View()
+	}
 	sc.needed = sc.needed[:0]
 	sc.masks = sc.masks[:0]
 	for i := 0; i < layout.NumTiles(); i++ {
@@ -559,6 +605,38 @@ func (e *Engine) sweepIteration(batch []*runState) error {
 			}
 			sc.inCache[ref.DiskIdx] = true
 			e.dispatchTile(batch, sc.masks[pos], ref, 0, &done)
+		}
+		done.Wait()
+		el := time.Since(cs)
+		statEach(batch, func(st *Stats) { st.Compute += el })
+	}
+
+	// Delta-only tiles hold inserted edges in tiles the base graph left
+	// empty; there is nothing to fetch for them, so they are dispatched
+	// here alongside the rewind (their data is wholly in memory).
+	if v := sc.view; v.NumTiles() > 0 {
+		var done sync.WaitGroup
+		cs := time.Now()
+		for _, di := range v.TileIndexes() {
+			if e.g.TupleCount(di) != 0 {
+				continue // merged on the rewind/slide paths
+			}
+			c := layout.CoordAt(di)
+			var mask uint64
+			for j, r := range batch {
+				if r.finished {
+					continue
+				}
+				if e.opts.Selective && !r.alg.NeedTileThisIter(c.Row, c.Col) {
+					r.stats.TilesSkipped++
+					continue
+				}
+				mask |= 1 << uint(j)
+			}
+			if mask == 0 {
+				continue
+			}
+			e.dispatchTile(batch, mask, mem.TileRef{DiskIdx: di, Row: c.Row, Col: c.Col}, 0, &done)
 		}
 		done.Wait()
 		el := time.Since(cs)
@@ -1007,7 +1085,17 @@ func (e *Engine) retire(batch []*runState, s *mem.Segment) {
 	case CacheNone:
 		e.mm.Release(s)
 	case CacheLRU:
-		e.mm.EvictOldest(segBytes(s))
+		// Retire skips tiles the pool already holds (a rewind can
+		// re-stream pooled tiles), so only the uncached tiles need room.
+		// Sizing by the whole segment would evict cached tiles to make
+		// space nothing will use.
+		var need int64
+		for _, t := range s.Tiles() {
+			if e.mm.CachedData(t.DiskIdx) == nil {
+				need += int64(len(t.Data))
+			}
+		}
+		e.mm.EvictOldest(need)
 		e.mm.Retire(s, nil)
 	default: // CacheProactive
 		keep := func(ref mem.TileRef) bool {

@@ -261,6 +261,61 @@ func TestLRURetireBoundary(t *testing.T) {
 	checkNoLeakedSegments(t, e)
 }
 
+// The LRU retire path must size its eviction by the tiles the pool does
+// NOT already hold: Retire skips already-cached tiles (a rewind re-streams
+// pooled tiles), so sizing by the whole segment evicts live cache entries
+// to make room nothing will fill.
+func TestLRURetireSizesByUncachedTilesOnly(t *testing.T) {
+	m, err := mem.NewManager(1000, 400) // segments 400, pool 200
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{mm: m, opts: Options{Cache: CacheLRU}}
+
+	fill := func(diskIdx, size int) {
+		s := m.Acquire()
+		data := s.Buf[:size]
+		for i := range data {
+			data[i] = byte(diskIdx)
+		}
+		s.SetTiles([]mem.TileRef{{DiskIdx: diskIdx, Data: data}})
+		m.Retire(s, nil)
+	}
+	fill(1, 80)
+	fill(2, 60)
+	fill(3, 40) // pool now 180/200
+
+	// A segment carrying tile 3 (cached, 40 bytes) and a new tile 4
+	// (20 bytes): only 20 uncached bytes are needed and 20 are free, so
+	// nothing may be evicted. Sizing by the whole segment (60 bytes)
+	// would wrongly evict tile 1.
+	before := m.Stats().EvictedTiles
+	s := m.Acquire()
+	d3 := s.Buf[:40]
+	d4 := s.Buf[40:60]
+	for i := range d4 {
+		d4[i] = 4
+	}
+	s.SetTiles([]mem.TileRef{
+		{DiskIdx: 3, Data: d3},
+		{DiskIdx: 4, Data: d4},
+	})
+	e.retire(nil, s)
+
+	if got := m.Stats().EvictedTiles - before; got != 0 {
+		t.Fatalf("EvictedTiles delta = %d, want 0 (only 20 uncached bytes needed)", got)
+	}
+	for _, di := range []int{1, 2, 3, 4} {
+		if m.CachedData(di) == nil {
+			t.Fatalf("tile %d missing from pool after retire", di)
+		}
+	}
+	if m.PoolUsed() != 200 {
+		t.Fatalf("PoolUsed = %d, want 200", m.PoolUsed())
+	}
+	checkNoLeakedSegments(t, e)
+}
+
 // soloBatch wraps ctx in a single-run batch for driving sweep internals
 // directly in tests.
 func soloBatch(ctx context.Context) []*runState {

@@ -56,6 +56,8 @@ func PublishStats(r *metrics.Registry, graph string, st *Stats) {
 		Add(st.Compute.Microseconds())
 	r.Counter("gstore_engine_chunks_total",
 		"Work items (tile chunks) dispatched to workers.", g).Add(st.Chunks)
+	r.Counter("gstore_engine_delta_tiles_total",
+		"Dispatched tiles merged with the mutable delta layer.", g).Add(st.DeltaTiles)
 
 	// Per-worker accounting and the balance gauge: the chunked-dispatch
 	// win is max/mean worker busy time near 1.0 instead of the worker

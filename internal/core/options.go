@@ -228,8 +228,11 @@ type Stats struct {
 	TilesFromCache int64
 	TilesFetched   int64
 	TilesSkipped   int64 // skipped by selective fetching
-	BytesRead      int64
-	IORequests     int64
+	// DeltaTiles counts dispatched tiles whose data was merged with the
+	// mutable delta layer (zero without a delta store or mutations).
+	DeltaTiles int64
+	BytesRead  int64
+	IORequests int64
 
 	// Chunks counts the work items dispatched to workers; it exceeds
 	// TilesProcessed whenever tiles split at the ChunkBytes boundary.

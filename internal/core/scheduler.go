@@ -81,7 +81,11 @@ func (s *Scheduler) QueueDepth() int {
 // error wrapping ctx.Err() on cancellation (whether canceled in the
 // queue or mid-sweep), partial stats alongside an *IntegrityError, and
 // (stats, nil) on success. ErrQueueFull reports admission overflow
-// without running anything.
+// without running anything. A run that leaves the queue without ever
+// being admitted — canceled, or rejected by Close — still returns stats
+// carrying its QueueWait alongside the error, so queue-latency metrics
+// see the waits that never converted into work (dropping them would
+// survivorship-bias the histogram toward fast admissions).
 func (s *Scheduler) Run(ctx context.Context, a algo.Algorithm) (*Stats, error) {
 	r, err := s.e.prepare(ctx, a)
 	if err != nil {
@@ -106,7 +110,8 @@ func (s *Scheduler) Run(ctx context.Context, a algo.Algorithm) (*Stats, error) {
 		select {
 		case <-qr.admit:
 			if qr.err != nil {
-				return nil, qr.err
+				r.stats.QueueWait = time.Since(qr.enqueued)
+				return r.stats, qr.err
 			}
 		case <-ctx.Done():
 			s.mu.Lock()
@@ -118,7 +123,8 @@ func (s *Scheduler) Run(ctx context.Context, a algo.Algorithm) (*Stats, error) {
 					}
 				}
 				s.mu.Unlock()
-				return nil, fmt.Errorf("core: run canceled while queued: %w", ctx.Err())
+				r.stats.QueueWait = time.Since(qr.enqueued)
+				return r.stats, fmt.Errorf("core: run canceled while queued: %w", ctx.Err())
 			}
 			// Admitted in the race window: the sweep owns the run now and
 			// will finish it as canceled at its next poll point.

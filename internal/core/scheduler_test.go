@@ -273,6 +273,78 @@ func TestSchedulerQueueOverflowAndCancel(t *testing.T) {
 	}
 }
 
+// Runs that leave the queue without admission — canceled, or rejected by
+// Close — must still report their queue wait, or the latency histogram
+// only ever sees waits that ended in admission (survivorship bias).
+func TestSchedulerQueuedExitObservesQueueWait(t *testing.T) {
+	el := kron(t, 10, 8, 11)
+	g := convert(t, el, 6, 4)
+	opts := smallOpts()
+	opts.MaxConcurrentRuns = 1
+	opts.MaxQueuedRuns = 2
+	_, s := newSched(t, g, opts)
+
+	blocker := newGated(algo.NewPageRank(5))
+	blockErr := make(chan error, 1)
+	go func() {
+		_, err := s.Run(context.Background(), blocker)
+		blockErr <- err
+	}()
+	<-blocker.entered
+
+	type res struct {
+		st  *Stats
+		err error
+	}
+	qctx, qcancel := context.WithCancel(context.Background())
+	canceled := make(chan res, 1)
+	go func() {
+		st, err := s.Run(qctx, algo.NewWCC())
+		canceled <- res{st, err}
+	}()
+	rejected := make(chan res, 1)
+	go func() {
+		st, err := s.Run(context.Background(), algo.NewWCC())
+		rejected <- res{st, err}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.QueueDepth() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued runs never appeared in the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	time.Sleep(5 * time.Millisecond) // accrue a measurable wait
+	qcancel()
+	r := <-canceled
+	if !errors.Is(r.err, context.Canceled) {
+		t.Fatalf("canceled queued run err = %v, want context.Canceled", r.err)
+	}
+	if r.st == nil || r.st.QueueWait <= 0 {
+		t.Fatalf("canceled queued run stats = %+v, want non-nil with QueueWait > 0", r.st)
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		s.Close() // rejects the remaining queued run, then drains
+		close(closed)
+	}()
+	r = <-rejected
+	if !errors.Is(r.err, ErrSchedulerClosed) {
+		t.Fatalf("rejected queued run err = %v, want ErrSchedulerClosed", r.err)
+	}
+	if r.st == nil || r.st.QueueWait <= 0 {
+		t.Fatalf("rejected queued run stats = %+v, want non-nil with QueueWait > 0", r.st)
+	}
+
+	close(blocker.release)
+	if err := <-blockErr; err != nil {
+		t.Fatalf("blocking run: %v", err)
+	}
+	<-closed
+}
+
 // One rider canceling mid-sweep must not disturb its co-scheduled
 // neighbor, and a closed scheduler refuses new work.
 func TestSchedulerRiderCancelAndClose(t *testing.T) {

@@ -123,6 +123,7 @@ func All() []Runner {
 		{"relabel", "Extension: degree-sorted vertex relabeling", ExtRelabel},
 		{"sweep", "Extension: thread-count sweep of the chunked dispatcher", ThreadSweep},
 		{"serve", "Extension: closed-loop concurrent serving, serialized vs shared scan", ServeBench},
+		{"ingest", "Extension: WAL-backed ingest then query, delta-merge overhead", IngestBench},
 	}
 }
 

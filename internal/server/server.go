@@ -14,13 +14,21 @@
 //	POST /graphs/{name}/pagerank      — {"iterations":10,"top":10}
 //	POST /graphs/{name}/wcc           — {}
 //	POST /graphs/{name}/scc           — {} (directed graphs only)
+//	POST /graphs/{name}/edges         — {"edges":[{"src":0,"dst":1,"delete":false},…],"flush":false}
 //
 // Every request passes through instrumentation middleware that records
 // method/graph/op/status counters, a latency histogram, and an in-flight
 // gauge into the server's metrics.Registry. Engine runs honor the
 // request context, so a disconnected client cancels its run. Run errors
-// are classified: invalid request parameters are 400s, canceled runs are
+// are classified: invalid request parameters are 400s, canceled runs and
+// runs refused by a scheduler that graceful shutdown already closed are
 // 503s, and engine/storage failures are 500s.
+//
+// Unless the server is ReadOnly, each graph is served with its mutable
+// write path attached: POST /graphs/{name}/edges appends a durable WAL
+// record and publishes the batch to the delta layer, so subsequent
+// queries see base ∪ delta. Crash recovery (snapshot load + WAL replay)
+// happens in AddGraph.
 //
 // Concurrent algorithm requests against one graph are co-scheduled onto
 // a shared tile sweep by a core.Scheduler (up to MaxConcurrentRuns at
@@ -44,6 +52,7 @@ import (
 
 	"github.com/gwu-systems/gstore/internal/algo"
 	"github.com/gwu-systems/gstore/internal/core"
+	"github.com/gwu-systems/gstore/internal/delta"
 	"github.com/gwu-systems/gstore/internal/metrics"
 	"github.com/gwu-systems/gstore/internal/tile"
 )
@@ -56,10 +65,21 @@ type GraphHandle struct {
 	Graph  *tile.Graph
 	engine *core.Engine
 	sched  *core.Scheduler
+	// delta is the graph's write path (WAL + delta tiles); nil on a
+	// read-only server, in which case POST /graphs/{name}/edges is 403.
+	delta *delta.Store
+	// applyMu serializes mutation batches per graph: delta.Store.Apply is
+	// safe for one writer at a time (readers never block).
+	applyMu sync.Mutex
 }
 
 // Server routes requests to its graphs.
 type Server struct {
+	// ReadOnly, when set before AddGraph, serves graphs without opening
+	// their write path: no WAL replay, no on-disk side effects, and edge
+	// mutations are refused with 403.
+	ReadOnly bool
+
 	mu     sync.RWMutex
 	graphs map[string]*GraphHandle
 	reg    *metrics.Registry
@@ -97,7 +117,9 @@ func validGraphName(name string) bool {
 }
 
 // AddGraph opens the graph at basePath and serves it under name. opts
-// configures its engine.
+// configures its engine. Unless the server is ReadOnly, the graph's
+// write path is opened too: any snapshot and WAL left by a previous
+// process are recovered here, so acked mutations survive a crash.
 func (s *Server) AddGraph(name, basePath string, opts core.Options) error {
 	if !validGraphName(name) {
 		return fmt.Errorf("server: invalid graph name %q (need [A-Za-z0-9._-], ≤128 bytes)", name)
@@ -111,14 +133,42 @@ func (s *Server) AddGraph(name, basePath string, opts core.Options) error {
 		g.Close()
 		return err
 	}
+	var ds *delta.Store
+	if !s.ReadOnly {
+		fsync := s.walFsync(name)
+		ds, err = delta.Open(g, basePath, delta.Options{
+			OnFsync: func(d time.Duration) { fsync.Observe(d.Seconds()) },
+		})
+		if err != nil {
+			eng.Close()
+			g.Close()
+			return fmt.Errorf("server: opening write path for %q: %w", name, err)
+		}
+		eng.SetDeltaStore(ds)
+		st := ds.Stats()
+		gl := metrics.L("graph", name)
+		s.reg.Counter("gstore_wal_replay_segments_total",
+			"WAL segments scanned during crash recovery at graph open.", gl).
+			Add(int64(st.ReplaySegments))
+		s.reg.Counter("gstore_wal_replay_records_total",
+			"WAL records re-applied during crash recovery at graph open.", gl).
+			Add(int64(st.ReplayRecords))
+		s.reg.Counter("gstore_wal_replay_ops_total",
+			"Edge mutations re-applied during crash recovery at graph open.", gl).
+			Add(st.ReplayOps)
+		s.deltaMetrics(name, st)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.graphs[name]; dup {
 		eng.Close()
+		if ds != nil {
+			ds.Close()
+		}
 		g.Close()
 		return fmt.Errorf("server: graph %q already loaded", name)
 	}
-	s.graphs[name] = &GraphHandle{Name: name, Graph: g, engine: eng, sched: core.NewScheduler(eng)}
+	s.graphs[name] = &GraphHandle{Name: name, Graph: g, engine: eng, sched: core.NewScheduler(eng), delta: ds}
 	// Register the scheduler series now so they are visible at /metrics
 	// from the first scrape, not only after the first (or first
 	// rejected) run.
@@ -153,6 +203,36 @@ func (s *Server) runsRejected(graph string) *metrics.Counter {
 		metrics.L("graph", graph))
 }
 
+func (s *Server) walFsync(graph string) *metrics.Histogram {
+	return s.reg.Histogram("gstore_wal_fsync_seconds",
+		"WAL group-commit fsync latency, by graph.",
+		metrics.DefBuckets, metrics.L("graph", graph))
+}
+
+// deltaMetrics republishes the write path's cumulative counters and
+// current delta-layer shape from one stats snapshot.
+func (s *Server) deltaMetrics(graph string, st delta.Stats) {
+	gl := metrics.L("graph", graph)
+	s.reg.Counter("gstore_wal_appends_total",
+		"Mutation records appended to the WAL, by graph.", gl).
+		Set(int64(st.WALAppends))
+	s.reg.Counter("gstore_wal_flushes_total",
+		"Delta snapshots flushed (each truncates the WAL), by graph.", gl).
+		Set(int64(st.Flushes))
+	s.reg.Gauge("gstore_wal_segment",
+		"Index of the WAL segment currently being appended to, by graph.", gl).
+		Set(int64(st.WALSegment))
+	s.reg.Gauge("gstore_delta_tiles",
+		"Tiles with pending delta-layer mutations, by graph.", gl).
+		Set(int64(st.DeltaTiles))
+	s.reg.Gauge("gstore_delta_inserted_tuples",
+		"Edge tuples inserted by the delta layer, by graph.", gl).
+		Set(st.InsTuples)
+	s.reg.Gauge("gstore_delta_masked_keys",
+		"Base edge keys masked (deleted) by the delta layer, by graph.", gl).
+		Set(st.MaskedKeys)
+}
+
 // Close releases every graph.
 func (s *Server) Close() {
 	s.mu.Lock()
@@ -160,6 +240,11 @@ func (s *Server) Close() {
 	for _, h := range s.graphs {
 		h.sched.Close()
 		h.engine.Close()
+		if h.delta != nil {
+			// Flushes the delta layer to a snapshot and truncates the WAL;
+			// a kill before this point recovers via replay at next open.
+			h.delta.Close()
+		}
 		h.Graph.Close()
 	}
 	s.graphs = map[string]*GraphHandle{}
@@ -183,6 +268,7 @@ func (s *Server) Handler() http.Handler {
 var ops = map[string]bool{
 	"bfs": true, "khop": true, "msbfs": true,
 	"pagerank": true, "wcc": true, "scc": true,
+	"edges": true,
 }
 
 // routeLabels derives bounded-cardinality graph/op labels from a request
@@ -356,6 +442,8 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	switch op {
+	case "edges":
+		s.handleEdges(w, r, h)
 	case "bfs":
 		s.handleBFS(w, r, h)
 	case "khop":
@@ -407,6 +495,8 @@ func (s *Server) run(ctx context.Context, h *GraphHandle, a algo.Algorithm) (*co
 	case errors.Is(err, core.ErrQueueFull):
 		status = "rejected"
 		s.runsRejected(h.Name).Inc()
+	case errors.Is(err, core.ErrSchedulerClosed):
+		status = "shutdown"
 	case errors.As(err, new(*core.BadRequestError)):
 		status = "bad_request"
 	case errors.As(err, new(*core.IntegrityError)):
@@ -422,26 +512,35 @@ func (s *Server) run(ctx context.Context, h *GraphHandle, a algo.Algorithm) (*co
 		metrics.L("algo", a.Name()),
 		metrics.L("status", status)).Inc()
 	if st != nil {
+		// Queue wait is observed for every run that has stats — including
+		// ones canceled or rejected while still queued, which would
+		// otherwise bias the histogram toward waits that ended in
+		// admission. Occupancy and engine counters only make sense for
+		// runs that actually rode a sweep (SharedRuns ≥ 1).
 		s.queueWait(h.Name).Observe(st.QueueWait.Seconds())
-		s.batchOccupancy(h.Name).Observe(float64(st.SharedRuns))
-		core.PublishStats(s.reg, h.Name, st)
+		if st.SharedRuns > 0 {
+			s.batchOccupancy(h.Name).Observe(float64(st.SharedRuns))
+			core.PublishStats(s.reg, h.Name, st)
+		}
 	}
 	return st, err
 }
 
 // writeRunError maps a Run error onto the right status class: request
 // errors are the client's fault (400), admission overflow is
-// backpressure the client should retry later (429), canceled runs mean
-// the server is going away or the client already left (503), detected
-// tile corruption is a 500 naming the damaged tile (the operator's cue
-// to run gstore fsck), and anything else is an engine/storage failure
-// (500).
+// backpressure the client should retry later (429), a scheduler closed
+// by graceful shutdown or a canceled run mean the server is going away
+// or the client already left (503), detected tile corruption is a 500
+// naming the damaged tile (the operator's cue to run gstore fsck), and
+// anything else is an engine/storage failure (500).
 func writeRunError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.As(err, new(*core.BadRequestError)):
 		writeError(w, http.StatusBadRequest, "%v", err)
 	case errors.Is(err, core.ErrQueueFull):
 		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, core.ErrSchedulerClosed):
+		writeError(w, http.StatusServiceUnavailable, "server shutting down: %v", err)
 	case errors.As(err, new(*core.IntegrityError)):
 		writeError(w, http.StatusInternalServerError, "data integrity failure: %v", err)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
@@ -449,6 +548,64 @@ func writeRunError(w http.ResponseWriter, err error) {
 	default:
 		writeError(w, http.StatusInternalServerError, "engine failure: %v", err)
 	}
+}
+
+// handleEdges applies one batch of edge mutations through the graph's
+// WAL-backed write path. The batch is atomic with respect to queries
+// (readers see all of it or none of it) and durable once the response
+// is written: the WAL record is fsynced before Apply returns.
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request, h *GraphHandle) {
+	if h.delta == nil {
+		writeError(w, http.StatusForbidden, "graph %q is read-only", h.Name)
+		return
+	}
+	var req struct {
+		Edges []struct {
+			Src uint32 `json:"src"`
+			Dst uint32 `json:"dst"`
+			Del bool   `json:"delete"`
+		} `json:"edges"`
+		// Flush forces a delta snapshot + WAL truncation after the batch
+		// (otherwise flushing is automatic and policy-driven).
+		Flush bool `json:"flush"`
+	}
+	if !readJSONLimit(w, r, &req, 64<<20) {
+		return
+	}
+	if len(req.Edges) == 0 && !req.Flush {
+		writeError(w, http.StatusBadRequest, "empty batch: need edges or flush")
+		return
+	}
+	ops := make([]delta.Op, len(req.Edges))
+	for i, e := range req.Edges {
+		ops[i] = delta.Op{Del: e.Del, Src: e.Src, Dst: e.Dst}
+	}
+
+	h.applyMu.Lock()
+	changed, err := h.delta.Apply(ops)
+	if err == nil && req.Flush {
+		err = h.delta.Flush()
+	}
+	st := h.delta.Stats()
+	h.applyMu.Unlock()
+
+	if err != nil {
+		var bad *delta.BadOpError
+		if errors.As(err, &bad) {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		} else {
+			writeError(w, http.StatusInternalServerError, "write path failure: %v", err)
+		}
+		return
+	}
+	s.deltaMetrics(h.Name, st)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"applied":     len(ops),
+		"changed":     changed,
+		"seq":         st.Seq,
+		"delta_tiles": st.DeltaTiles,
+		"wal_segment": st.WALSegment,
+	})
 }
 
 func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request, h *GraphHandle) {
@@ -645,7 +802,11 @@ func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request, h *Gra
 }
 
 func readJSON(w http.ResponseWriter, r *http.Request, into interface{}) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	return readJSONLimit(w, r, into, 1<<20)
+}
+
+func readJSONLimit(w http.ResponseWriter, r *http.Request, into interface{}, limit int64) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	if err := dec.Decode(into); err != nil && err != io.EOF {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return false

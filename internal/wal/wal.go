@@ -1,0 +1,437 @@
+// Package wal implements a segmented, CRC32C-checksummed write-ahead
+// log in the TSDB style: an append-only directory of numbered segment
+// files, each a sequence of length-prefixed checksummed records. Appends
+// are made durable by fsync-batched group commit (concurrent appenders
+// share one fsync), segments rotate at a size threshold (the old segment
+// is fsynced before the next is created, so a crash can only tear the
+// *last* segment), and replay tolerates a torn tail there — every record
+// acknowledged by Append is recovered, unacknowledged tails are
+// discarded. After the owning store flushes its state, old segments are
+// deleted with TruncateBefore.
+//
+// Record framing: [uint32 payload length][uint32 CRC32C(payload)]
+// [payload], little endian. A record whose length field or checksum does
+// not validate ends replay of its segment.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/gwu-systems/gstore/internal/fsutil"
+)
+
+const (
+	headerBytes = 8
+	// MaxRecordBytes bounds one record's payload so a corrupt length
+	// field cannot trigger a huge allocation during replay.
+	MaxRecordBytes = 64 << 20
+	// DefaultSegmentBytes is the rotation threshold when Options leaves
+	// it zero. Small next to Prometheus' 128 MB because graph mutation
+	// batches are compact and truncation happens on every flush.
+	DefaultSegmentBytes = 16 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures a log.
+type Options struct {
+	// SegmentBytes is the rotation threshold; a record that would push
+	// the current segment past it goes to a fresh segment. Zero selects
+	// DefaultSegmentBytes.
+	SegmentBytes int64
+	// OnFsync, when non-nil, observes the duration of every fsync issued
+	// by group commit (for the gstore_wal_fsync_seconds histogram).
+	OnFsync func(d time.Duration)
+}
+
+// W is an open write-ahead log. Append is safe for concurrent use.
+type W struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex // guards the fields below and all file writes
+	f       *os.File
+	seg     int   // current segment number
+	size    int64 // bytes written to the current segment
+	written int64 // monotone byte count across all segments (LSN)
+	// rotDurable is the LSN up to which rotation fsyncs already made the
+	// log durable (everything in closed segments).
+	rotDurable int64
+	closed     bool
+
+	syncMu  sync.Mutex // serializes group commit
+	durable int64      // LSN made durable by explicit fsync
+}
+
+// segName formats the file name of segment n.
+func segName(n int) string { return fmt.Sprintf("%08d", n) }
+
+// listSegments returns the numeric segment numbers in dir, ascending.
+func listSegments(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []int
+	for _, e := range ents {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "%08d", &n); err == nil && segName(n) == e.Name() {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// Open opens (creating if necessary) the log in dir. The last segment is
+// scanned for valid records; a torn tail — possible only there, because
+// rotation fsyncs a segment before abandoning it — is truncated away so
+// new appends continue from the end of the last intact record.
+func Open(dir string, opts Options) (*W, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	w := &W{dir: dir, opts: opts}
+	if len(segs) == 0 {
+		if err := w.createSegment(1); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	last := segs[len(segs)-1]
+	path := filepath.Join(dir, segName(last))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	valid, _, err := scanRecords(data, nil)
+	if err != nil {
+		return nil, fmt.Errorf("wal: segment %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if valid < int64(len(data)) {
+		// Drop the torn tail before appending over it.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.f, w.seg, w.size = f, last, valid
+	w.written, w.durable, w.rotDurable = valid, valid, valid
+	return w, nil
+}
+
+// createSegment makes segment n the current append target. Callers hold
+// w.mu (or own the W exclusively, as Open does).
+func (w *W) createSegment(n int) error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(n)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := fsutil.SyncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.f, w.seg, w.size = f, n, 0
+	return nil
+}
+
+// Segment returns the current segment number.
+func (w *W) Segment() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seg
+}
+
+// Append frames payload, writes it to the log, and returns once the
+// record is durable (fsynced). Concurrent appenders are group-committed:
+// whoever reaches the fsync first covers every record written so far, so
+// the others return without issuing their own.
+func (w *W) Append(payload []byte) error {
+	if len(payload) == 0 || len(payload) > MaxRecordBytes {
+		return fmt.Errorf("wal: record payload of %d bytes out of range [1,%d]", len(payload), MaxRecordBytes)
+	}
+	frame := int64(headerBytes + len(payload))
+
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return fmt.Errorf("wal: append on closed log")
+	}
+	if w.size > 0 && w.size+frame > w.opts.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			w.mu.Unlock()
+			return err
+		}
+	}
+	var hdr [headerBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	w.size += frame
+	w.written += frame
+	myEnd := w.written
+	w.mu.Unlock()
+
+	return w.syncTo(myEnd)
+}
+
+// syncTo blocks until every log byte up to LSN end is durable,
+// fsyncing at most once across the cohort of concurrent appenders.
+func (w *W) syncTo(end int64) error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	if w.rotDurable > w.durable {
+		w.durable = w.rotDurable
+	}
+	if w.durable >= end {
+		w.mu.Unlock()
+		return nil
+	}
+	f, cur := w.f, w.written
+	w.mu.Unlock()
+
+	begin := time.Now()
+	err := f.Sync()
+	if w.opts.OnFsync != nil {
+		w.opts.OnFsync(time.Since(begin))
+	}
+	if err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	w.mu.Lock()
+	if cur > w.durable {
+		w.durable = cur
+	}
+	w.mu.Unlock()
+	return nil
+}
+
+// rotateLocked closes out the current segment — fsyncing it first, so
+// only the newest segment can ever hold a torn record — and starts the
+// next one. Callers hold w.mu.
+func (w *W) rotateLocked() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync before rotation: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.rotDurable = w.written
+	return w.createSegment(w.seg + 1)
+}
+
+// Rotate forces a segment boundary: the current segment is fsynced and
+// closed, and appends continue in a fresh one. Flush protocols rotate
+// before snapshotting so TruncateBefore can drop everything the snapshot
+// covers.
+func (w *W) Rotate() (newSeg int, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, fmt.Errorf("wal: rotate on closed log")
+	}
+	if err := w.rotateLocked(); err != nil {
+		return 0, err
+	}
+	return w.seg, nil
+}
+
+// TruncateBefore deletes every segment numbered below keep. Called after
+// a flush made the covered records redundant.
+func (w *W) TruncateBefore(keep int) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for _, n := range segs {
+		if n >= keep || n == w.seg {
+			continue
+		}
+		if err := os.Remove(filepath.Join(w.dir, segName(n))); err != nil {
+			return err
+		}
+		removed = true
+	}
+	if removed {
+		return fsutil.SyncDir(w.dir)
+	}
+	return nil
+}
+
+// Close fsyncs and closes the current segment.
+func (w *W) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// ReplayStats summarizes one Replay.
+type ReplayStats struct {
+	Segments int
+	Records  int
+	// TornBytes is the length of the discarded invalid tail of the last
+	// segment (zero for a cleanly closed log).
+	TornBytes int64
+	// TornSegment is the segment number holding the torn tail, 0 if none.
+	TornSegment int
+}
+
+// Replay streams every intact record of the log in write order to fn. A
+// corrupt or torn suffix is tolerated — and reported in the stats — only
+// in the final segment; anywhere else it is an error, because rotation
+// guarantees closed segments were durable. fn errors abort the replay.
+func Replay(dir string, fn func(payload []byte) error) (ReplayStats, error) {
+	var st ReplayStats
+	segs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return st, nil // no log yet: nothing to replay
+		}
+		return st, err
+	}
+	for i, n := range segs {
+		path := filepath.Join(dir, segName(n))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return st, err
+		}
+		st.Segments++
+		recs := 0
+		valid, _, scanErr := scanRecords(data, func(payload []byte) error {
+			recs++
+			return fn(payload)
+		})
+		st.Records += recs
+		if scanErr != nil {
+			return st, fmt.Errorf("wal: segment %s: %w", path, scanErr)
+		}
+		if valid < int64(len(data)) {
+			if i != len(segs)-1 {
+				return st, fmt.Errorf("wal: segment %s has an invalid record at offset %d but is not the last segment (corruption, not a crash tail)",
+					path, valid)
+			}
+			st.TornBytes = int64(len(data)) - valid
+			st.TornSegment = n
+		}
+	}
+	return st, nil
+}
+
+// scanRecords walks the framed records of one segment's bytes, calling
+// fn (if non-nil) for each valid record. It returns the byte offset of
+// the end of the last valid record; any suffix beyond it failed to
+// validate (short header, short payload, oversized length, or checksum
+// mismatch). The error return is reserved for fn failures.
+func scanRecords(data []byte, fn func(payload []byte) error) (valid int64, records int, err error) {
+	off := int64(0)
+	for int64(len(data))-off >= headerBytes {
+		n := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n == 0 || n > MaxRecordBytes || off+headerBytes+n > int64(len(data)) {
+			break
+		}
+		payload := data[off+headerBytes : off+headerBytes+n]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			break
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return off, records, err
+			}
+		}
+		off += headerBytes + n
+		records++
+	}
+	return off, records, nil
+}
+
+// CheckFinding is one problem (or tolerated anomaly) found by Check.
+type CheckFinding struct {
+	Segment int
+	Detail  string
+	// Fatal marks real corruption; torn tails in the last segment are
+	// reported with Fatal=false since recovery discards them by design.
+	Fatal bool
+}
+
+func (f CheckFinding) String() string {
+	return fmt.Sprintf("wal segment %s: %s", segName(f.Segment), f.Detail)
+}
+
+// Check validates the log offline for fsck: every record of every
+// segment is length- and checksum-verified. It never modifies the log.
+func Check(dir string) (stats ReplayStats, findings []CheckFinding, err error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return stats, nil, nil
+		}
+		return stats, nil, err
+	}
+	for i, n := range segs {
+		data, err := os.ReadFile(filepath.Join(dir, segName(n)))
+		if err != nil {
+			return stats, findings, err
+		}
+		stats.Segments++
+		valid, recs, _ := scanRecords(data, nil)
+		stats.Records += recs
+		if valid < int64(len(data)) {
+			if i == len(segs)-1 {
+				stats.TornBytes = int64(len(data)) - valid
+				stats.TornSegment = n
+				findings = append(findings, CheckFinding{Segment: n, Fatal: false,
+					Detail: fmt.Sprintf("torn tail: %d bytes after the last valid record (discarded on recovery)", int64(len(data))-valid)})
+			} else {
+				findings = append(findings, CheckFinding{Segment: n, Fatal: true,
+					Detail: fmt.Sprintf("invalid record at offset %d in a non-final segment (corruption)", valid)})
+			}
+		}
+	}
+	return stats, findings, nil
+}

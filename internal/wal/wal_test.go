@@ -1,0 +1,235 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func rec(i int) []byte { return []byte(fmt.Sprintf("record-%04d-%s", i, "payload")) }
+
+func appendN(t *testing.T, w *W, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		if err := w.Append(rec(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func replayAll(t *testing.T, dir string) ([][]byte, ReplayStats) {
+	t.Helper()
+	var got [][]byte
+	st, err := Replay(dir, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got, st
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 100)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, st := replayAll(t, dir)
+	if len(got) != 100 || st.Records != 100 || st.TornBytes != 0 {
+		t.Fatalf("replay got %d records, stats %+v", len(got), st)
+	}
+	for i, p := range got {
+		if !bytes.Equal(p, rec(i)) {
+			t.Fatalf("record %d = %q, want %q", i, p, rec(i))
+		}
+	}
+}
+
+func TestRotationAndTruncate(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	w, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 20) // each frame ~28 bytes: forces many rotations
+	if w.Segment() < 3 {
+		t.Fatalf("expected several segments, at %d", w.Segment())
+	}
+	got, st := replayAll(t, dir)
+	if len(got) != 20 || st.Segments != w.Segment() {
+		t.Fatalf("replay got %d records over %d segments (current %d)", len(got), st.Segments, w.Segment())
+	}
+	newSeg, err := w.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TruncateBefore(newSeg); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0] != newSeg {
+		t.Fatalf("after truncate segments = %v, want [%d]", segs, newSeg)
+	}
+	appendN(t, w, 100, 3)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = replayAll(t, dir)
+	if len(got) != 3 || !bytes.Equal(got[0], rec(100)) {
+		t.Fatalf("post-truncate replay got %d records", len(got))
+	}
+}
+
+func TestTornTailDiscardedAndTruncatedOnOpen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 5)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn append: half a frame of garbage at the tail.
+	path := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{9, 0, 0, 0, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got, st := replayAll(t, dir)
+	if len(got) != 5 || st.TornBytes != 6 || st.TornSegment != 1 {
+		t.Fatalf("replay got %d records, stats %+v", len(got), st)
+	}
+	_, findings, err := Check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Fatal {
+		t.Fatalf("check findings = %v", findings)
+	}
+
+	// Reopen truncates the tail and appends continue cleanly after it.
+	w, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 5, 2)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, st = replayAll(t, dir)
+	if len(got) != 7 || st.TornBytes != 0 {
+		t.Fatalf("after reopen replay got %d records, stats %+v", len(got), st)
+	}
+	for i, p := range got {
+		if !bytes.Equal(p, rec(i)) {
+			t.Fatalf("record %d = %q, want %q", i, p, rec(i))
+		}
+	}
+}
+
+func TestCorruptionInNonFinalSegmentIsFatal(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	w, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 10)
+	if w.Segment() < 2 {
+		t.Fatalf("need at least 2 segments, have %d", w.Segment())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte in the first segment.
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerBytes] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(dir, func([]byte) error { return nil }); err == nil {
+		t.Fatal("replay of a corrupt non-final segment should fail")
+	}
+	_, findings, err := Check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fatal := false
+	for _, f := range findings {
+		fatal = fatal || f.Fatal
+	}
+	if !fatal {
+		t.Fatalf("check should flag fatal corruption, got %v", findings)
+	}
+}
+
+func TestConcurrentGroupCommit(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	var mu sync.Mutex
+	fsyncs := 0
+	w, err := Open(dir, Options{OnFsync: func(_ time.Duration) {
+		mu.Lock()
+		fsyncs++
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := w.Append(rec(g*per + i)); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := replayAll(t, dir)
+	if len(got) != writers*per {
+		t.Fatalf("replayed %d records, want %d", len(got), writers*per)
+	}
+	seen := make(map[string]bool, len(got))
+	for _, p := range got {
+		seen[string(p)] = true
+	}
+	if len(seen) != writers*per {
+		t.Fatalf("replay lost or duplicated records: %d unique of %d", len(seen), writers*per)
+	}
+	mu.Lock()
+	n := fsyncs
+	mu.Unlock()
+	if n == 0 || n > writers*per {
+		t.Fatalf("fsync count %d outside (0, %d]", n, writers*per)
+	}
+}

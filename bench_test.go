@@ -149,7 +149,7 @@ func BenchmarkSNBDecode(b *testing.B) {
 	b.SetBytes(int64(len(data)))
 	for i := 0; i < b.N; i++ {
 		sum := uint32(0)
-		_ = tile.DecodeTuples(data, true, 0, 0, func(s, d uint32) { sum += s ^ d })
+		_ = tile.DecodeTuples(data, tile.CodecSNB, 0, 0, func(s, d uint32) { sum += s ^ d })
 	}
 }
 

@@ -1,0 +1,130 @@
+// Command benchdiff compares a benchmark JSON report against a committed
+// baseline. It walks every field of the baseline and reports the current
+// value next to it, with a percent delta for numbers.
+//
+// The exit status is about report *shape*, not performance: a missing
+// current file or a field present in the baseline but absent from the
+// current report fails the run (a benchmark silently dropping a metric is
+// a regression CI must catch), while numeric drift only prints — CI
+// runners are too noisy for timing thresholds, and the deterministic
+// fields (byte counts, ratios) are guarded by tests instead.
+//
+// Usage:
+//
+//	benchdiff -baseline bench/BENCH_codec_quick.json -current BENCH_pr7.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+func main() {
+	baseline := flag.String("baseline", "", "committed baseline JSON report")
+	current := flag.String("current", "", "freshly produced JSON report")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -baseline FILE -current FILE")
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: baseline: %v\n", err)
+		os.Exit(1)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: current: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchdiff %s -> %s\n", *baseline, *current)
+	fmt.Printf("%-45s  %15s  %15s  %9s\n", "field", "baseline", "current", "delta")
+	missing := diff("", base, cur)
+	if len(missing) > 0 {
+		for _, m := range missing {
+			fmt.Fprintf(os.Stderr, "benchdiff: field %q missing from current report\n", m)
+		}
+		os.Exit(1)
+	}
+}
+
+func load(path string) (map[string]interface{}, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]interface{}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// diff prints one line per baseline leaf field and returns the paths of
+// fields the current report lacks.
+func diff(prefix string, base, cur map[string]interface{}) []string {
+	var missing []string
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		path := k
+		if prefix != "" {
+			path = prefix + "." + k
+		}
+		bv := base[k]
+		cv, ok := cur[k]
+		if !ok {
+			missing = append(missing, path)
+			continue
+		}
+		if bm, isMap := bv.(map[string]interface{}); isMap {
+			cm, curIsMap := cv.(map[string]interface{})
+			if !curIsMap {
+				missing = append(missing, path)
+				continue
+			}
+			missing = append(missing, diff(path, bm, cm)...)
+			continue
+		}
+		fmt.Printf("%-45s  %15s  %15s  %9s\n", path, render(bv), render(cv), delta(bv, cv))
+	}
+	return missing
+}
+
+func render(v interface{}) string {
+	switch x := v.(type) {
+	case float64:
+		if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+			return fmt.Sprintf("%d", int64(x))
+		}
+		return fmt.Sprintf("%.4g", x)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+func delta(b, c interface{}) string {
+	bf, bok := b.(float64)
+	cf, cok := c.(float64)
+	if !bok || !cok {
+		if b == c {
+			return "same"
+		}
+		return "changed"
+	}
+	if bf == 0 {
+		if cf == 0 {
+			return "+0.0%"
+		}
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (cf-bf)/bf*100)
+}

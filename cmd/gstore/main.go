@@ -94,6 +94,7 @@ func cmdConvert(args []string) error {
 	groupQ := fs.Uint("groupq", 256, "physical group width in tiles")
 	noSym := fs.Bool("nosymmetry", false, "disable the symmetry (half) storage")
 	noSNB := fs.Bool("nosnb", false, "disable the SNB tuple encoding")
+	codec := fs.String("codec", "", "tuple codec: snb, raw, or v3 (overrides -nosnb)")
 	fs.Parse(args)
 	if *in == "" || *name == "" || *vertices == 0 {
 		return fmt.Errorf("convert: -in, -name and -vertices are required")
@@ -103,6 +104,7 @@ func cmdConvert(args []string) error {
 		GroupQ:   uint32(*groupQ),
 		Symmetry: !*noSym,
 		SNB:      !*noSNB,
+		Codec:    *codec,
 		Degrees:  true,
 	}
 	g, err := tile.ConvertEdgeListFile(*in, uint32(*vertices), *directed, *dir, *name, opts)
@@ -135,7 +137,7 @@ func cmdInfo(args []string) error {
 	fmt.Printf("tile width:  2^%d (%d tiles/side, %d stored tiles)\n",
 		m.TileBits, g.Layout.P, g.Layout.NumTiles())
 	fmt.Printf("groups:      %dx%d tiles\n", m.GroupQ, m.GroupQ)
-	fmt.Printf("directed:    %v   half-stored: %v   snb: %v\n", m.Directed, m.Half, m.SNB)
+	fmt.Printf("directed:    %v   half-stored: %v   codec: %s\n", m.Directed, m.Half, m.TupleCodec())
 	fmt.Printf("format:      v%d   checksummed: %v\n", m.Version, g.Checksummed())
 	fmt.Printf("data:        %s (+%s start-edge)\n",
 		report.Bytes(g.DataBytes()), report.Bytes(g.StartBytes()))

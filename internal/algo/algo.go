@@ -22,7 +22,13 @@ type Context struct {
 	// process every tuple in both directions (Algorithm 1 in the paper).
 	Half bool
 	// SNB reports the tuple encoding of the data handed to ProcessTile.
+	// Retained for the fixed-width fast paths; Codec is authoritative.
 	SNB bool
+	// Codec is the tuple codec of the data handed to ProcessTile /
+	// ProcessTileChunk. Kernels keep inline SNB/raw decode loops for the
+	// fixed-width codecs and fall back to the closure-based block
+	// decoder for CodecV3.
+	Codec tile.Codec
 	// Degrees supplies vertex degrees; nil unless the graph was converted
 	// with degree output. PageRank requires it.
 	Degrees tile.DegreeSource
@@ -38,6 +44,19 @@ func (c *Context) validate() error {
 		return fmt.Errorf("algo: incomplete context")
 	}
 	return nil
+}
+
+// codec reconciles the Codec and legacy SNB fields: contexts built
+// without an explicit Codec (zero value CodecSNB) defer to the SNB flag
+// for the snb/raw choice, so old constructors keep working.
+func (c *Context) codec() tile.Codec {
+	if c.Codec == tile.CodecV3 {
+		return tile.CodecV3
+	}
+	if c.SNB {
+		return tile.CodecSNB
+	}
+	return tile.CodecRaw
 }
 
 // Algorithm is the engine-facing interface of a tile kernel.
@@ -95,19 +114,25 @@ type ChunkedAlgorithm interface {
 	ProcessTileChunk(worker int, row, col uint32, data []byte)
 }
 
-// decodeLoop iterates tuples of a tile without a closure per edge.
-// Kernels inline their own loops for the hot path; this helper is used by
-// tests and non-critical paths.
-func decodeLoop(snb bool, rowBase, colBase uint32, data []byte, fn func(src, dst uint32)) {
-	if snb {
+// decodeLoop iterates tuples of a tile without a closure per edge for the
+// fixed-width codecs. Kernels inline their own loops for the hot path;
+// this helper is used by tests and non-critical paths. V3 data always
+// goes through the closure-based block decoder (the engine verified the
+// tile's CRC before dispatch, so decode errors are ignored here — fsck
+// and Verify surface them with context).
+func decodeLoop(c tile.Codec, rowBase, colBase uint32, data []byte, fn func(src, dst uint32)) {
+	switch c {
+	case tile.CodecSNB:
 		for i := 0; i+tile.SNBTupleBytes <= len(data); i += tile.SNBTupleBytes {
 			s, d := tile.GetSNB(data[i:])
 			fn(rowBase+uint32(s), colBase+uint32(d))
 		}
-		return
-	}
-	for i := 0; i+tile.RawTupleBytes <= len(data); i += tile.RawTupleBytes {
-		s, d := tile.GetRaw(data[i:])
-		fn(s, d)
+	case tile.CodecV3:
+		_ = tile.DecodeV3(data, rowBase, colBase, fn)
+	default:
+		for i := 0; i+tile.RawTupleBytes <= len(data); i += tile.RawTupleBytes {
+			s, d := tile.GetRaw(data[i:])
+			fn(s, d)
+		}
 	}
 }

@@ -80,6 +80,14 @@ func (b *AsyncBFS) BeforeIteration(iter int) {
 
 // ProcessTile implements Algorithm.
 func (b *AsyncBFS) ProcessTile(row, col uint32, data []byte) {
+	if b.ctx.Codec == tile.CodecV3 {
+		rb, _ := b.ctx.Layout.VertexRange(row)
+		cb, _ := b.ctx.Layout.VertexRange(col)
+		_ = tile.DecodeV3(data, rb, cb, func(s, d uint32) {
+			b.relax(s, d, row, col)
+		})
+		return
+	}
 	if b.ctx.SNB {
 		rb, _ := b.ctx.Layout.VertexRange(row)
 		cb, _ := b.ctx.Layout.VertexRange(col)

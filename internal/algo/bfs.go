@@ -84,6 +84,14 @@ func (b *BFS) BeforeIteration(iter int) {
 func (b *BFS) ProcessTile(row, col uint32, data []byte) {
 	level := b.level
 	depth := b.depth
+	if b.ctx.Codec == tile.CodecV3 {
+		rb, _ := b.ctx.Layout.VertexRange(row)
+		cb, _ := b.ctx.Layout.VertexRange(col)
+		_ = tile.DecodeV3(data, rb, cb, func(s, d uint32) {
+			b.visit(s, d, row, col, level, depth)
+		})
+		return
+	}
 	if b.ctx.SNB {
 		rb, _ := b.ctx.Layout.VertexRange(row)
 		cb, _ := b.ctx.Layout.VertexRange(col)
@@ -109,7 +117,13 @@ func (b *BFS) ProcessTileChunk(_ int, row, col uint32, data []byte) {
 	level := b.level
 	depth := b.depth
 	var fwd, rev int64 // discoveries in the col and row ranges
-	if b.ctx.SNB {
+	if b.ctx.Codec == tile.CodecV3 {
+		rb, _ := b.ctx.Layout.VertexRange(row)
+		cb, _ := b.ctx.Layout.VertexRange(col)
+		_ = tile.DecodeV3(data, rb, cb, func(s, d uint32) {
+			b.visitBatched(s, d, level, depth, &fwd, &rev)
+		})
+	} else if b.ctx.SNB {
 		rb, _ := b.ctx.Layout.VertexRange(row)
 		cb, _ := b.ctx.Layout.VertexRange(col)
 		for i := 0; i+tile.SNBTupleBytes <= len(data); i += tile.SNBTupleBytes {

@@ -91,6 +91,14 @@ func (m *MSBFS) BeforeIteration(iter int) {
 
 // ProcessTile implements Algorithm.
 func (m *MSBFS) ProcessTile(row, col uint32, data []byte) {
+	if m.ctx.Codec == tile.CodecV3 {
+		rb, _ := m.ctx.Layout.VertexRange(row)
+		cb, _ := m.ctx.Layout.VertexRange(col)
+		_ = tile.DecodeV3(data, rb, cb, func(s, d uint32) {
+			m.advance(s, d, row, col)
+		})
+		return
+	}
 	if m.ctx.SNB {
 		rb, _ := m.ctx.Layout.VertexRange(row)
 		cb, _ := m.ctx.Layout.VertexRange(col)

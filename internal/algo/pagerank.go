@@ -109,6 +109,17 @@ func (p *PageRank) ProcessTile(row, col uint32, data []byte) {
 	share := p.share
 	next := p.next
 	both := p.ctx.Half
+	if p.ctx.Codec == tile.CodecV3 {
+		rb, _ := p.ctx.Layout.VertexRange(row)
+		cb, _ := p.ctx.Layout.VertexRange(col)
+		_ = tile.DecodeV3(data, rb, cb, func(s, d uint32) {
+			atomicAddFloat64(&next[d], share[s])
+			if both && s != d {
+				atomicAddFloat64(&next[s], share[d])
+			}
+		})
+		return
+	}
 	if p.ctx.SNB {
 		rb, _ := p.ctx.Layout.VertexRange(row)
 		cb, _ := p.ctx.Layout.VertexRange(col)
@@ -139,6 +150,17 @@ func (p *PageRank) ProcessTileChunk(worker int, row, col uint32, data []byte) {
 	share := p.share
 	next := p.nextW[worker]
 	both := p.ctx.Half
+	if p.ctx.Codec == tile.CodecV3 {
+		rb, _ := p.ctx.Layout.VertexRange(row)
+		cb, _ := p.ctx.Layout.VertexRange(col)
+		_ = tile.DecodeV3(data, rb, cb, func(s, d uint32) {
+			next[d] += share[s]
+			if both && s != d {
+				next[s] += share[d]
+			}
+		})
+		return
+	}
 	if p.ctx.SNB {
 		rb, _ := p.ctx.Layout.VertexRange(row)
 		cb, _ := p.ctx.Layout.VertexRange(col)

@@ -112,7 +112,7 @@ func (s *SCC) ProcessTileChunk(_ int, row, col uint32, data []byte) {
 }
 
 func (s *SCC) forEach(row, col uint32, data []byte, fn func(src, dst uint32)) {
-	decodeLoop(s.ctx.SNB, rowBase(s.ctx, row), rowBase(s.ctx, col), data, fn)
+	decodeLoop(s.ctx.codec(), rowBase(s.ctx, row), rowBase(s.ctx, col), data, fn)
 }
 
 func rowBase(ctx *Context, t uint32) uint32 {

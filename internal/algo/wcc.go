@@ -59,6 +59,14 @@ func (w *WCC) BeforeIteration(iter int) {
 
 // ProcessTile implements Algorithm.
 func (w *WCC) ProcessTile(row, col uint32, data []byte) {
+	if w.ctx.Codec == tile.CodecV3 {
+		rb, _ := w.ctx.Layout.VertexRange(row)
+		cb, _ := w.ctx.Layout.VertexRange(col)
+		_ = tile.DecodeV3(data, rb, cb, func(s, d uint32) {
+			w.hook(s, d, row, col)
+		})
+		return
+	}
 	if w.ctx.SNB {
 		rb, _ := w.ctx.Layout.VertexRange(row)
 		cb, _ := w.ctx.Layout.VertexRange(col)
@@ -94,7 +102,11 @@ func (w *WCC) ProcessTileChunk(_ int, row, col uint32, data []byte) {
 			}
 		}
 	}
-	if w.ctx.SNB {
+	if w.ctx.Codec == tile.CodecV3 {
+		rb, _ := w.ctx.Layout.VertexRange(row)
+		cb, _ := w.ctx.Layout.VertexRange(col)
+		_ = tile.DecodeV3(data, rb, cb, visit)
+	} else if w.ctx.SNB {
 		rb, _ := w.ctx.Layout.VertexRange(row)
 		cb, _ := w.ctx.Layout.VertexRange(col)
 		for i := 0; i+tile.SNBTupleBytes <= len(data); i += tile.SNBTupleBytes {

@@ -70,6 +70,12 @@ type Engine struct {
 	// scratch holds the per-iteration planning state reused across
 	// iterations and runs; only the (single) sweep driver touches it.
 	scratch sweepScratch
+
+	// unattributedBytes accumulates fetched tile bytes whose interested
+	// runs all finished before dispatch: the I/O happened but no live run
+	// was left to charge. Engine-lifetime counter; Run reports the delta
+	// it observed in Stats.UnattributedBytes.
+	unattributedBytes atomic.Int64
 }
 
 // runState is one algorithm run riding a sweep batch: its kernel, its
@@ -124,6 +130,7 @@ func (e *Engine) prepare(ctx context.Context, a algo.Algorithm) (*runState, erro
 		Directed:    e.g.Meta.Directed,
 		Half:        e.g.Meta.Half,
 		SNB:         e.g.Meta.SNB,
+		Codec:       e.g.Meta.TupleCodec(),
 		Degrees:     degrees,
 		Workers:     e.opts.Threads,
 	}
@@ -263,10 +270,14 @@ func NewEngine(g *tile.Graph, opts Options) (*Engine, error) {
 	}
 	e := &Engine{g: g, opts: opts, array: array, mm: mman}
 	if cb := opts.ChunkBytes; cb > 0 {
-		tb := g.Meta.TupleBytes()
-		cb -= cb % tb
-		if cb < tb {
-			cb = tb
+		// Fixed-width codecs round the chunk size down to the tuple
+		// alignment; v3 tiles (TupleBytes 0) split at decode-block
+		// boundaries instead, so the size is used as-is.
+		if tb := g.Meta.TupleBytes(); tb > 0 {
+			cb -= cb % tb
+			if cb < tb {
+				cb = tb
+			}
 		}
 		e.chunkBytes = cb
 	}
@@ -279,6 +290,11 @@ func NewEngine(g *tile.Graph, opts Options) (*Engine, error) {
 	}
 	return e, nil
 }
+
+// UnattributedBytes reports the engine-lifetime total of fetched tile
+// bytes that could not be charged to any run (every interested run had
+// finished by dispatch time).
+func (e *Engine) UnattributedBytes() int64 { return e.unattributedBytes.Load() }
 
 // SetDeltaStore attaches (or, with nil, detaches) a mutable delta layer.
 // Must not be called while a run is in flight; the next sweep iteration
@@ -341,8 +357,11 @@ func (e *Engine) dispatch(alg algo.Algorithm, chunked algo.ChunkedAlgorithm, ref
 // dispatchTile fans one tile out to every interested, still-live run of
 // the batch and updates their per-run counters. fetchedBytes > 0 marks a
 // freshly fetched tile whose bytes are attributed fractionally across
-// the interested runs; fetchedBytes == 0 marks a cache-pool hit.
-func (e *Engine) dispatchTile(batch []*runState, mask uint64, ref mem.TileRef, fetchedBytes int64, done *sync.WaitGroup) {
+// the interested runs; fetchedBytes == 0 marks a cache-pool hit. When
+// every interested run finished between planning and dispatch, fetched
+// bytes have nobody left to charge and land on the engine-level
+// unattributed counter instead of vanishing.
+func (e *Engine) dispatchTile(batch []*runState, mask uint64, ref mem.TileRef, fetchedBytes int64, done *sync.WaitGroup) error {
 	share := 0
 	for j := range batch {
 		if mask&(1<<uint(j)) != 0 && !batch[j].finished {
@@ -350,8 +369,12 @@ func (e *Engine) dispatchTile(batch []*runState, mask uint64, ref mem.TileRef, f
 		}
 	}
 	if share == 0 {
-		return
+		if fetchedBytes > 0 {
+			e.unattributedBytes.Add(fetchedBytes)
+		}
+		return nil
 	}
+	ref.Codec = e.g.Meta.TupleCodec()
 	// Read-time merge: a tile with delta data is dispatched as
 	// base∪delta — masked base tuples dropped, inserted tuples appended.
 	// The merged buffer is fresh, so pooled cache bytes stay the pristine
@@ -360,7 +383,15 @@ func (e *Engine) dispatchTile(batch []*runState, mask uint64, ref mem.TileRef, f
 	if td := e.scratch.view.Tile(ref.DiskIdx); td != nil {
 		rb, _ := e.g.Layout.VertexRange(ref.Row)
 		cb, _ := e.g.Layout.VertexRange(ref.Col)
-		ref.Data = td.Merge(ref.Data, e.g.Meta.SNB, rb, cb)
+		merged, err := td.Merge(ref.Data, ref.Codec, e.g.Layout.TileBits, rb, cb)
+		if err != nil {
+			c := e.g.Layout.CoordAt(ref.DiskIdx)
+			return &IntegrityError{
+				Graph: e.g.Meta.Name, Tile: ref.DiskIdx, Row: c.Row, Col: c.Col,
+				Err: err,
+			}
+		}
+		ref.Data = merged
 		deltaTile = true
 	}
 	for j, r := range batch {
@@ -379,6 +410,7 @@ func (e *Engine) dispatchTile(batch []*runState, mask uint64, ref mem.TileRef, f
 			r.stats.TilesFromCache++
 		}
 	}
+	return nil
 }
 
 // workerSnapshot copies the cumulative per-worker counters.
@@ -418,6 +450,7 @@ func (e *Engine) Run(ctx context.Context, a algo.Algorithm) (*Stats, error) {
 	stats := r.stats
 	busyStart, chunksStart := e.workerSnapshot()
 	startStorage := e.array.Stats()
+	startUnattr := e.unattributedBytes.Load()
 	fd, hasFaults := e.array.(*storage.FaultDevice)
 	var startFaults storage.FaultStats
 	if hasFaults {
@@ -450,6 +483,7 @@ func (e *Engine) Run(ctx context.Context, a algo.Algorithm) (*Stats, error) {
 				// caller's metrics.
 				stats.IntegrityErrors++
 				stats.Elapsed = time.Since(begin)
+				stats.UnattributedBytes = e.unattributedBytes.Load() - startUnattr
 				if hasFaults {
 					stats.Faults = fd.FaultStats().Sub(startFaults)
 				}
@@ -502,6 +536,7 @@ func (e *Engine) Run(ctx context.Context, a algo.Algorithm) (*Stats, error) {
 	stats.Storage = end
 	stats.BytesRead = end.BytesRead - startStorage.BytesRead
 	stats.IORequests = end.Requests - startStorage.Requests
+	stats.UnattributedBytes = e.unattributedBytes.Load() - startUnattr
 	if hasFaults {
 		stats.Faults = fd.FaultStats().Sub(startFaults)
 	}
@@ -604,7 +639,10 @@ func (e *Engine) sweepIteration(batch []*runState) error {
 				continue
 			}
 			sc.inCache[ref.DiskIdx] = true
-			e.dispatchTile(batch, sc.masks[pos], ref, 0, &done)
+			if err := e.dispatchTile(batch, sc.masks[pos], ref, 0, &done); err != nil {
+				done.Wait()
+				return err
+			}
 		}
 		done.Wait()
 		el := time.Since(cs)
@@ -636,7 +674,10 @@ func (e *Engine) sweepIteration(batch []*runState) error {
 			if mask == 0 {
 				continue
 			}
-			e.dispatchTile(batch, mask, mem.TileRef{DiskIdx: di, Row: c.Row, Col: c.Col}, 0, &done)
+			if err := e.dispatchTile(batch, mask, mem.TileRef{DiskIdx: di, Row: c.Row, Col: c.Col}, 0, &done); err != nil {
+				done.Wait()
+				return err
+			}
 		}
 		done.Wait()
 		el := time.Since(cs)
@@ -984,7 +1025,12 @@ func (e *Engine) slide(batch []*runState, toFetch []int, masks []uint64) error {
 		var done sync.WaitGroup
 		cs := time.Now()
 		for ti, ref := range refs {
-			e.dispatchTile(batch, fl.plan.tiles[ti].mask, ref, fl.plan.tiles[ti].n, &done)
+			if err := e.dispatchTile(batch, fl.plan.tiles[ti].mask, ref, fl.plan.tiles[ti].n, &done); err != nil {
+				done.Wait()
+				ce := time.Since(cs)
+				statEach(batch, func(st *Stats) { st.Compute += ce })
+				return fail(head, err)
+			}
 		}
 		done.Wait()
 		ce := time.Since(cs)

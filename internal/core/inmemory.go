@@ -46,6 +46,7 @@ func LoadInMemory(g *tile.Graph) (*MemGraph, error) {
 		Directed:    g.Meta.Directed,
 		Half:        g.Meta.Half,
 		SNB:         g.Meta.SNB,
+		Codec:       g.Meta.TupleCodec(),
 		Degrees:     deg,
 	}
 	m.LoadTime = time.Since(begin)

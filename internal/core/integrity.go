@@ -50,24 +50,42 @@ func (e *Engine) verifySegment(batch []*runState, plan *segmentPlan, seg *mem.Se
 			}
 		}
 	}
+	// For v3 graphs a matching CRC is followed by a walk of the block
+	// framing, so a converter bug (or a CRC collision) can never hand
+	// workers undecodable data. Fixed-width codecs have no framing.
+	frames := func(data []byte) error {
+		if e.g.Meta.TupleCodec() != tile.CodecV3 {
+			return nil
+		}
+		return tile.ValidateV3Frames(data)
+	}
 	for _, pt := range plan.tiles {
 		data := seg.Buf[pt.bufOff : pt.bufOff+pt.n]
 		want := e.g.TileChecksum(pt.diskIdx)
 		statMasked(pt.mask, func(st *Stats) { st.TilesVerified++ })
 		got := tile.Checksum(data)
+		var err error
 		if got == want {
-			continue
-		}
-		statMasked(pt.mask, func(st *Stats) { st.ChecksumMismatches++ })
-		off, _ := e.g.TileByteRange(pt.diskIdx)
-		if err := e.array.ReadSync(off, data); err == nil {
-			if got = tile.Checksum(data); got == want {
-				continue // transient: the re-read came back clean
+			if err = frames(data); err == nil {
+				continue
+			}
+		} else {
+			statMasked(pt.mask, func(st *Stats) { st.ChecksumMismatches++ })
+			off, _ := e.g.TileByteRange(pt.diskIdx)
+			if rerr := e.array.ReadSync(off, data); rerr == nil {
+				if got = tile.Checksum(data); got == want {
+					if err = frames(data); err == nil {
+						continue // transient: the re-read came back clean
+					}
+				}
+			}
+			if err == nil {
+				err = &tile.ChecksumError{Tile: pt.diskIdx, Want: want, Got: got}
 			}
 		}
 		return &IntegrityError{
 			Graph: e.g.Meta.Name, Tile: pt.diskIdx, Row: pt.row, Col: pt.col,
-			Err: &tile.ChecksumError{Tile: pt.diskIdx, Want: want, Got: got},
+			Err: err,
 		}
 	}
 	return nil

@@ -58,6 +58,9 @@ func PublishStats(r *metrics.Registry, graph string, st *Stats) {
 		"Work items (tile chunks) dispatched to workers.", g).Add(st.Chunks)
 	r.Counter("gstore_engine_delta_tiles_total",
 		"Dispatched tiles merged with the mutable delta layer.", g).Add(st.DeltaTiles)
+	r.Counter("gstore_engine_unattributed_bytes_total",
+		"Fetched tile bytes whose interested runs all finished before dispatch.", g).
+		Add(st.UnattributedBytes)
 
 	// Per-worker accounting and the balance gauge: the chunked-dispatch
 	// win is max/mean worker busy time near 1.0 instead of the worker

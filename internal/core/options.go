@@ -233,6 +233,12 @@ type Stats struct {
 	DeltaTiles int64
 	BytesRead  int64
 	IORequests int64
+	// UnattributedBytes counts fetched tile bytes the engine could charge
+	// to no run during this run's sweeps: every run interested in the tile
+	// finished between fetch planning and dispatch. Normally zero for solo
+	// runs; nonzero values mean BytesRead exceeds the sum of the per-run
+	// fractional attributions by exactly this amount.
+	UnattributedBytes int64
 
 	// Chunks counts the work items dispatched to workers; it exceeds
 	// TilesProcessed whenever tiles split at the ChunkBytes boundary.

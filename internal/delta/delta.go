@@ -39,7 +39,8 @@ func key(src, dst uint32) uint64 { return uint64(src)<<32 | uint64(dst) }
 
 // TileDelta is one tile's accumulated mutations: a mask over base
 // tuples plus the encoded inserted tuples. Immutable once published in
-// a View.
+// a View (the merge cache below is the one internal, mutex-guarded
+// exception).
 type TileDelta struct {
 	// state maps a stored tuple key to its desired presence: true means
 	// exactly one occurrence (inserted, or surviving a re-insert after
@@ -47,8 +48,28 @@ type TileDelta struct {
 	// absent from the map keep their base multiplicity.
 	state map[uint64]bool
 	// ins holds the encoded tuples for the present keys, sorted by
-	// (src, dst), in the graph's own tuple encoding.
+	// (src, dst), in the graph's insert encoding (insCodec: the graph's
+	// own fixed-width codec, or SNB offsets for a v3 graph).
 	ins []byte
+
+	// Merge cache: a delta tile's merged data is identical on every
+	// dispatch of a view generation (the TileDelta is immutable and the
+	// base tile never changes), so the first Merge result is memoized.
+	// cloning for the next generation starts with an empty cache.
+	mergeMu   sync.Mutex
+	merged    []byte
+	mergedFor int // len(baseData)+1 the cache was built from, 0 when empty
+}
+
+// insCodec is the encoding of a TileDelta's ins buffer for a graph using
+// codec c: v3 inserts are staged as fixed-width SNB offset tuples (the
+// offsets always fit — TileBits <= 16) and only block-encoded during
+// Merge; fixed-width graphs stage inserts in their own codec.
+func insCodec(c tile.Codec) tile.Codec {
+	if c == tile.CodecV3 {
+		return tile.CodecSNB
+	}
+	return c
 }
 
 // Masked reports whether base occurrences of (src, dst) are suppressed.
@@ -64,15 +85,63 @@ func (td *TileDelta) Masked(src, dst uint32) bool {
 // modify the slice.
 func (td *TileDelta) Ins() []byte { return td.ins }
 
-// Merge produces the tile's effective data: base tuples not masked by
-// the delta, followed by the sorted inserted tuples. baseData may be
-// nil (a delta-only tile). The result is freshly allocated; baseData is
-// never modified, so pooled cache bytes stay pristine.
-func (td *TileDelta) Merge(baseData []byte, snb bool, rowBase, colBase uint32) []byte {
-	tb := tile.RawTupleBytes
-	if snb {
-		tb = tile.SNBTupleBytes
+// Merge produces the tile's effective data in the graph's codec c: base
+// tuples not masked by the delta plus the inserted tuples (appended for
+// fixed-width codecs, merged into sorted block order for v3). baseData
+// may be nil (a delta-only tile) and is never modified, so pooled cache
+// bytes stay pristine. bits is the graph's TileBits (used by the v3
+// re-encode; ignored otherwise).
+//
+// A corrupt base — a trailing partial tuple, or broken v3 block
+// structure — is surfaced as an error instead of being silently dropped,
+// matching what tile.DecodeTuples rejects.
+//
+// The result is memoized: a view's TileDelta is immutable and the base
+// tile's bytes never change, so every dispatch of a view generation
+// returns the same buffer without re-merging. Callers must treat the
+// returned slice as read-only.
+func (td *TileDelta) Merge(baseData []byte, c tile.Codec, bits uint, rowBase, colBase uint32) ([]byte, error) {
+	td.mergeMu.Lock()
+	defer td.mergeMu.Unlock()
+	if td.mergedFor == len(baseData)+1 {
+		return td.merged, nil
 	}
+	out, err := td.mergeLocked(baseData, c, bits, rowBase, colBase)
+	if err != nil {
+		return nil, err
+	}
+	// The guard is len(baseData)+1 so the zero value (0) never matches,
+	// even for an empty base.
+	td.merged, td.mergedFor = out, len(baseData)+1
+	return out, nil
+}
+
+func (td *TileDelta) mergeLocked(baseData []byte, c tile.Codec, bits uint, rowBase, colBase uint32) ([]byte, error) {
+	if c == tile.CodecV3 {
+		// Decode base and inserts to packed offset keys, drop masked base
+		// tuples, and re-encode; AppendV3 restores sorted block order.
+		keys := make([]uint32, 0, int64(len(baseData)/2)+int64(len(td.ins)/tile.SNBTupleBytes))
+		err := tile.DecodeV3(baseData, rowBase, colBase, func(s, d uint32) {
+			if _, ok := td.state[key(s, d)]; ok {
+				return
+			}
+			keys = append(keys, tile.V3Key(s-rowBase, d-colBase, bits))
+		})
+		if err != nil {
+			return nil, fmt.Errorf("delta: merge base tile: %w", err)
+		}
+		for i := 0; i+tile.SNBTupleBytes <= len(td.ins); i += tile.SNBTupleBytes {
+			so, do := tile.GetSNB(td.ins[i:])
+			keys = append(keys, tile.V3Key(uint32(so), uint32(do), bits))
+		}
+		return tile.AppendV3(nil, keys, bits), nil
+	}
+	tb := int(c.TupleBytes())
+	if len(baseData)%tb != 0 {
+		return nil, fmt.Errorf("delta: merge base tile: %d bytes is not a whole number of %d-byte tuples (corrupt tile)",
+			len(baseData), tb)
+	}
+	snb := c == tile.CodecSNB
 	out := make([]byte, 0, len(baseData)+len(td.ins))
 	for i := 0; i+tb <= len(baseData); i += tb {
 		var s, d uint32
@@ -87,11 +156,12 @@ func (td *TileDelta) Merge(baseData []byte, snb bool, rowBase, colBase uint32) [
 		}
 		out = append(out, baseData[i:i+tb]...)
 	}
-	return append(out, td.ins...)
+	return append(out, td.ins...), nil
 }
 
-// rebuildIns regenerates the sorted encoded insert buffer from state.
-func (td *TileDelta) rebuildIns(snb bool, widthMask uint32) {
+// rebuildIns regenerates the sorted encoded insert buffer from state. c
+// is the graph's codec; the buffer uses insCodec(c).
+func (td *TileDelta) rebuildIns(c tile.Codec, widthMask uint32) {
 	keys := make([]uint64, 0, len(td.state))
 	for k, present := range td.state {
 		if present {
@@ -99,14 +169,12 @@ func (td *TileDelta) rebuildIns(snb bool, widthMask uint32) {
 		}
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	tb := tile.RawTupleBytes
-	if snb {
-		tb = tile.SNBTupleBytes
-	}
+	ic := insCodec(c)
+	tb := int(ic.TupleBytes())
 	td.ins = make([]byte, len(keys)*tb)
 	for i, k := range keys {
 		s, d := uint32(k>>32), uint32(k)
-		if snb {
+		if ic == tile.CodecSNB {
 			tile.PutSNB(td.ins[i*tb:], uint16(s&widthMask), uint16(d&widthMask))
 		} else {
 			tile.PutRaw(td.ins[i*tb:], s, d)
@@ -115,7 +183,7 @@ func (td *TileDelta) rebuildIns(snb bool, widthMask uint32) {
 }
 
 // clone returns a mutable copy (state deep-copied, ins shared until
-// rebuilt).
+// rebuilt, merge cache not carried over — the clone is about to change).
 func (td *TileDelta) clone() *TileDelta {
 	c := &TileDelta{state: make(map[uint64]bool, len(td.state)+1), ins: td.ins}
 	for k, v := range td.state {
@@ -448,7 +516,7 @@ func (s *Store) applyToView(cur *View, ops []Op, seq uint64) (*View, int, error)
 		c := s.g.Layout.CoordAt(di)
 		rb, _ := s.g.Layout.VertexRange(c.Row)
 		cb, _ := s.g.Layout.VertexRange(c.Col)
-		if err := tile.DecodeTuples(data, s.g.Meta.SNB, rb, cb, func(src, dst uint32) {
+		if err := tile.DecodeTuples(data, s.g.Meta.TupleCodec(), rb, cb, func(src, dst uint32) {
 			k := key(src, dst)
 			if n, ok := keys[k]; ok {
 				keys[k] = n + 1
@@ -504,8 +572,8 @@ func (s *Store) applyToView(cur *View, ops []Op, seq uint64) (*View, int, error)
 	for di := range touched {
 		td := next.tiles[di]
 		oldIns := len(td.ins)
-		td.rebuildIns(s.g.Meta.SNB, widthMask)
-		tb := int(s.g.Meta.TupleBytes())
+		td.rebuildIns(s.g.Meta.TupleCodec(), widthMask)
+		tb := int(insCodec(s.g.Meta.TupleCodec()).TupleBytes())
 		next.insTuples += int64(len(td.ins)/tb) - int64(oldIns/tb)
 		// A tile whose delta degenerated to "nothing masked, nothing
 		// inserted" could be dropped, but a mask entry with zero base

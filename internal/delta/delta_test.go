@@ -54,9 +54,13 @@ func effectiveEdges(t *testing.T, g *tile.Graph, v *View) map[uint64]int {
 		cb, _ := g.Layout.VertexRange(c.Col)
 		eff := data
 		if td := v.Tile(i); td != nil {
-			eff = td.Merge(data, g.Meta.SNB, rb, cb)
+			var err error
+			eff, err = td.Merge(data, g.Meta.TupleCodec(), g.Layout.TileBits, rb, cb)
+			if err != nil {
+				t.Fatal(err)
+			}
 		}
-		if err := tile.DecodeTuples(eff, g.Meta.SNB, rb, cb, func(s, d uint32) {
+		if err := tile.DecodeTuples(eff, g.Meta.TupleCodec(), rb, cb, func(s, d uint32) {
 			out[key(s, d)]++
 		}); err != nil {
 			t.Fatal(err)

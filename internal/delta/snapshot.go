@@ -216,8 +216,8 @@ func parseSnapshot(data []byte, g *tile.Graph) (*View, error) {
 			}
 		}
 		if g != nil {
-			td.rebuildIns(g.Meta.SNB, g.Layout.TileWidth()-1)
-			v.insTuples += int64(len(td.ins)) / g.Meta.TupleBytes()
+			td.rebuildIns(g.Meta.TupleCodec(), g.Layout.TileWidth()-1)
+			v.insTuples += int64(len(td.ins)) / insCodec(g.Meta.TupleCodec()).TupleBytes()
 		}
 		v.tiles[di] = td
 	}

@@ -1,0 +1,226 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/gwu-systems/gstore/internal/algo"
+	"github.com/gwu-systems/gstore/internal/core"
+	"github.com/gwu-systems/gstore/internal/report"
+	"github.com/gwu-systems/gstore/internal/tile"
+)
+
+// codecSide is one codec's half of the comparison.
+type codecSide struct {
+	Codec      string  `json:"codec"`
+	TileBytes  int64   `json:"tile_bytes"`
+	StartBytes int64   `json:"start_bytes"`
+	BytesEdge  float64 `json:"bytes_per_edge"`
+	ConvertSec float64 `json:"convert_seconds"`
+
+	Queries    int     `json:"queries"`
+	ElapsedSec float64 `json:"elapsed_seconds"`
+	QPS        float64 `json:"qps"`
+	BytesQuery float64 `json:"bytes_per_query"`
+	BFSSec     float64 `json:"bfs_seconds"`
+	PRSec      float64 `json:"pagerank_seconds"`
+}
+
+// codecBenchReport is the BENCH_pr7.json artifact: the same graph
+// converted with the fixed-width SNB codec (format v2) and the
+// delta+varint block codec (format v3), with storage footprint and
+// query-path cost side by side.
+type codecBenchReport struct {
+	Scale      int64     `json:"scale"`
+	Edges      int64     `json:"edges"`
+	V2         codecSide `json:"v2_snb"`
+	V3         codecSide `json:"v3"`
+	TileRatio  float64   `json:"tile_bytes_ratio_v2_over_v3"`
+	BytesRatio float64   `json:"bytes_per_query_ratio_v2_over_v3"`
+	QPSRatio   float64   `json:"qps_ratio_v3_over_v2"`
+	// ResultsMatch confirms BFS depths and WCC labels are bit-identical
+	// across the two codecs (the report is meaningless otherwise).
+	ResultsMatch bool `json:"results_match"`
+}
+
+// CodecBench converts the primary workload once per tuple codec and
+// compares storage bytes and query cost: tile bytes per edge, bytes read
+// per query, and queries per second over an identical BFS+PageRank query
+// mix on a throttled disk array. It also cross-checks that both codecs
+// return bit-identical BFS depths and WCC labels, so the byte savings are
+// measured against a provably equivalent store.
+func CodecBench(c *Config) error {
+	dir, err := tempWorkDir(c, "codec")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	el, err := c.edgeList(c.kronCfg())
+	if err != nil {
+		return err
+	}
+	rep := &codecBenchReport{Scale: int64(c.Scale), Edges: int64(len(el.Edges))}
+
+	var depths [2][]int32
+	var labels [2][]uint32
+	for i, side := range []*codecSide{&rep.V2, &rep.V3} {
+		codec := "snb"
+		if i == 1 {
+			codec = "v3"
+		}
+		side.Codec = codec
+		topts := c.stdTileOpts()
+		topts.TileBits = c.tileBits()
+		topts.GroupQ = 8
+		topts.Codec = codec
+		begin := time.Now()
+		tg, err := tile.Convert(el, dir, "codec-"+codec, topts)
+		if err != nil {
+			return err
+		}
+		side.ConvertSec = time.Since(begin).Seconds()
+		side.TileBytes = tg.DataBytes()
+		side.StartBytes = tg.StartBytes()
+		if rep.Edges > 0 {
+			side.BytesEdge = float64(side.TileBytes) / float64(rep.Edges)
+		}
+
+		e, err := core.NewEngine(tg, c.diskOpts(tg))
+		if err != nil {
+			tg.Close()
+			return err
+		}
+		ctx := context.Background()
+		run := func(a algo.Algorithm) (*core.Stats, error) {
+			return e.Run(ctx, a)
+		}
+
+		// The query mix: BFS from four spread roots plus one PageRank,
+		// identical per codec. Bytes/query averages the engine's BytesRead
+		// over the mix; QPS is mix size over wall time.
+		roots := []uint32{0, tg.Meta.NumVertices / 3, tg.Meta.NumVertices / 2, tg.Meta.NumVertices - 1}
+		begin = time.Now()
+		var bytesRead int64
+		for qi, root := range roots {
+			b := algo.NewBFS(root)
+			st, err := run(b)
+			if err != nil {
+				e.Close()
+				tg.Close()
+				return err
+			}
+			bytesRead += st.BytesRead
+			if qi == 0 {
+				side.BFSSec = st.Elapsed.Seconds()
+				depths[i] = b.Depths()
+			}
+		}
+		pr := algo.NewPageRank(5)
+		st, err := run(pr)
+		if err != nil {
+			e.Close()
+			tg.Close()
+			return err
+		}
+		bytesRead += st.BytesRead
+		side.PRSec = st.Elapsed.Seconds()
+
+		w := algo.NewWCC()
+		if st, err = run(w); err != nil {
+			e.Close()
+			tg.Close()
+			return err
+		}
+		bytesRead += st.BytesRead
+		labels[i] = w.Labels()
+
+		side.Queries = len(roots) + 2
+		side.ElapsedSec = time.Since(begin).Seconds()
+		if side.ElapsedSec > 0 {
+			side.QPS = float64(side.Queries) / side.ElapsedSec
+		}
+		side.BytesQuery = float64(bytesRead) / float64(side.Queries)
+		e.Close()
+		tg.Close()
+	}
+
+	rep.ResultsMatch = int32SlicesEqual(depths[0], depths[1]) &&
+		uint32SlicesEqual(labels[0], labels[1])
+	if rep.V3.TileBytes > 0 {
+		rep.TileRatio = float64(rep.V2.TileBytes) / float64(rep.V3.TileBytes)
+	}
+	if rep.V3.BytesQuery > 0 {
+		rep.BytesRatio = rep.V2.BytesQuery / rep.V3.BytesQuery
+	}
+	if rep.V2.QPS > 0 {
+		rep.QPSRatio = rep.V3.QPS / rep.V2.QPS
+	}
+	if !rep.ResultsMatch {
+		return fmt.Errorf("codec: v2 and v3 stores disagree on BFS/WCC results")
+	}
+
+	printCodecReport(c.Out, rep)
+	if c.BenchOut != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(c.BenchOut, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.Out, "wrote %s\n", c.BenchOut)
+	}
+	return nil
+}
+
+func int32SlicesEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func uint32SlicesEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func printCodecReport(out io.Writer, rep *codecBenchReport) {
+	tb := report.New(fmt.Sprintf("tile codec comparison, kron-%d (%d edges)", rep.Scale, rep.Edges),
+		"metric", "v2 (snb)", "v3 (blocks)", "ratio")
+	tb.Row("tile bytes",
+		report.Bytes(rep.V2.TileBytes), report.Bytes(rep.V3.TileBytes),
+		fmt.Sprintf("%.2fx smaller", rep.TileRatio))
+	tb.Row("bytes/edge",
+		fmt.Sprintf("%.2f", rep.V2.BytesEdge), fmt.Sprintf("%.2f", rep.V3.BytesEdge), "")
+	tb.Row("convert",
+		fmt.Sprintf("%.2fs", rep.V2.ConvertSec), fmt.Sprintf("%.2fs", rep.V3.ConvertSec), "")
+	tb.Row("bytes/query",
+		report.Bytes(int64(rep.V2.BytesQuery)), report.Bytes(int64(rep.V3.BytesQuery)),
+		fmt.Sprintf("%.2fx fewer", rep.BytesRatio))
+	tb.Row("QPS",
+		fmt.Sprintf("%.2f", rep.V2.QPS), fmt.Sprintf("%.2f", rep.V3.QPS),
+		fmt.Sprintf("%.2fx", rep.QPSRatio))
+	tb.Row("BFS / PageRank",
+		fmt.Sprintf("%.3fs / %.3fs", rep.V2.BFSSec, rep.V2.PRSec),
+		fmt.Sprintf("%.3fs / %.3fs", rep.V3.BFSSec, rep.V3.PRSec), "")
+	tb.Row("results match", rep.ResultsMatch, "", "")
+	tb.Fprint(out)
+}

@@ -124,6 +124,7 @@ func All() []Runner {
 		{"sweep", "Extension: thread-count sweep of the chunked dispatcher", ThreadSweep},
 		{"serve", "Extension: closed-loop concurrent serving, serialized vs shared scan", ServeBench},
 		{"ingest", "Extension: WAL-backed ingest then query, delta-merge overhead", IngestBench},
+		{"codec", "Extension: tile codec comparison, v2 fixed-width vs v3 blocks", CodecBench},
 	}
 }
 

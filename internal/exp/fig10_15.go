@@ -199,7 +199,7 @@ func simulatePageRankLLC(tg *tile.Graph, llc cachesim.Config) (cachesim.Stats, e
 		co := tg.Layout.CoordAt(i)
 		rb, _ := tg.Layout.VertexRange(co.Row)
 		cb, _ := tg.Layout.VertexRange(co.Col)
-		err = tile.DecodeTuples(data, tg.Meta.SNB, rb, cb, func(s, d uint32) {
+		err = tile.DecodeTuples(data, tg.Meta.TupleCodec(), rb, cb, func(s, d uint32) {
 			cache.Access(shareBase + uint64(s)*8)
 			cache.Access(nextBase + uint64(d)*8)
 			if tg.Meta.Half && s != d {

@@ -125,6 +125,16 @@ func tileChecksums(data []byte, start []int64, tupleBytes int64) []uint32 {
 	return crcs
 }
 
+// tileChecksumsAt is the variable-width variant: tile extents come from
+// byte-offset prefix sums (v3 graphs) instead of tuple counts.
+func tileChecksumsAt(data []byte, byteOff []int64) []uint32 {
+	crcs := make([]uint32, len(byteOff)-1)
+	for i := range crcs {
+		crcs[i] = Checksum(data[byteOff[i]:byteOff[i+1]])
+	}
+	return crcs
+}
+
 // Meta trailer: the last line of a v2 meta file is "#crc32c:XXXXXXXX",
 // the digest of every preceding byte. v1 metas have no trailer.
 

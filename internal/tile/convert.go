@@ -24,22 +24,48 @@ type ConvertOptions struct {
 	Symmetry bool
 	// SNB selects the 4-byte smallest-number-of-bits tuples (§IV-B);
 	// disabled it writes full 8-byte tuples (Figure 10 "Symmetry only").
+	// Ignored when Codec is set.
 	SNB bool
+	// Codec names the tuple codec explicitly: "snb", "raw" or "v3"
+	// (sorted delta+varint blocks, written as format version 3). Empty
+	// derives snb/raw from the SNB flag.
+	Codec string
 	// Degrees writes the degree file alongside the graph.
 	Degrees bool
-	// FormatVersion selects the on-disk format: 0 means the current
-	// Version (v2, checksummed); VersionV1 writes the legacy layout
-	// without checksums for compatibility testing.
+	// FormatVersion selects the on-disk format: 0 means the version the
+	// codec implies (v2 for snb/raw, v3 for the v3 codec); VersionV1
+	// writes the legacy layout without checksums for compatibility
+	// testing.
 	FormatVersion int
 }
 
-// formatVersion resolves FormatVersion, validating the choice.
-func (o ConvertOptions) formatVersion() (int, error) {
+// codec resolves the Codec/SNB fields into the tuple codec to write.
+func (o ConvertOptions) codec() (Codec, error) {
+	if o.Codec == "" {
+		if o.SNB {
+			return CodecSNB, nil
+		}
+		return CodecRaw, nil
+	}
+	return ParseCodec(o.Codec)
+}
+
+// formatVersion resolves FormatVersion against the codec, validating the
+// combination.
+func (o ConvertOptions) formatVersion(c Codec) (int, error) {
 	switch o.FormatVersion {
-	case 0, Version:
-		return Version, nil
-	case VersionV1:
-		return VersionV1, nil
+	case 0:
+		return c.FormatVersion(), nil
+	case Version, VersionV1:
+		if c == CodecV3 {
+			return 0, fmt.Errorf("tile: codec v3 requires format version %d, not %d", VersionV3, o.FormatVersion)
+		}
+		return o.FormatVersion, nil
+	case VersionV3:
+		if c != CodecV3 {
+			return 0, fmt.Errorf("tile: format version %d requires codec v3, not %q", VersionV3, c)
+		}
+		return VersionV3, nil
 	default:
 		return 0, fmt.Errorf("tile: cannot write format version %d", o.FormatVersion)
 	}
@@ -81,32 +107,53 @@ func Convert(el *graph.EdgeList, dir, name string, opts ConvertOptions) (*Graph,
 	}
 	numStored := start[nt]
 
-	tupleBytes := int64(RawTupleBytes)
-	if opts.SNB {
-		tupleBytes = SNBTupleBytes
+	codec, err := opts.codec()
+	if err != nil {
+		return nil, err
+	}
+	ver, err := opts.formatVersion(codec)
+	if err != nil {
+		return nil, err
+	}
+	tupleBytes := codec.TupleBytes()
+	if tupleBytes == 0 {
+		tupleBytes = SNBTupleBytes // v3 staging estimate: 4-byte sort keys
 	}
 	if total := numStored * tupleBytes; total > MaxConvertBytes {
 		return nil, fmt.Errorf("tile: graph needs %d staging bytes, above the %d cap", total, MaxConvertBytes)
 	}
 
-	// Pass 2: scatter encoded tuples.
-	data := make([]byte, numStored*tupleBytes)
+	// Pass 2: scatter encoded tuples. Fixed-width codecs scatter encoded
+	// bytes directly to their slots; v3 scatters packed sort keys into
+	// per-tile ranges, then sorts and block-encodes each tile.
 	next := make([]int64, nt)
 	copy(next, start[:nt])
 	mask := layout.TileWidth() - 1
-	forEachStored(el, layout, func(di int, src, dst uint32) {
-		p := next[di] * tupleBytes
-		next[di]++
-		if opts.SNB {
-			PutSNB(data[p:], uint16(src&mask), uint16(dst&mask))
-		} else {
-			PutRaw(data[p:], src, dst)
+	var data []byte
+	var byteOff []int64
+	switch codec {
+	case CodecV3:
+		keys := make([]uint32, numStored)
+		forEachStored(el, layout, func(di int, src, dst uint32) {
+			keys[next[di]] = V3Key(src&mask, dst&mask, opts.TileBits)
+			next[di]++
+		})
+		byteOff = make([]int64, nt+1)
+		for i := 0; i < nt; i++ {
+			data = AppendV3(data, keys[start[i]:start[i+1]], opts.TileBits)
+			byteOff[i+1] = int64(len(data))
 		}
-	})
-
-	ver, err := opts.formatVersion()
-	if err != nil {
-		return nil, err
+	default:
+		data = make([]byte, numStored*tupleBytes)
+		forEachStored(el, layout, func(di int, src, dst uint32) {
+			p := next[di] * tupleBytes
+			next[di]++
+			if codec == CodecSNB {
+				PutSNB(data[p:], uint16(src&mask), uint16(dst&mask))
+			} else {
+				PutRaw(data[p:], src, dst)
+			}
+		})
 	}
 	m := &Meta{
 		Magic: Magic, Version: ver, Name: name,
@@ -117,7 +164,10 @@ func Convert(el *graph.EdgeList, dir, name string, opts ConvertOptions) (*Graph,
 		GroupQ:      layout.Q,
 		Directed:    el.Directed,
 		Half:        half,
-		SNB:         opts.SNB,
+		SNB:         codec.SNB(),
+	}
+	if codec == CodecV3 || opts.Codec != "" {
+		m.Codec = codec.String()
 	}
 
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -145,6 +195,9 @@ func Convert(el *graph.EdgeList, dir, name string, opts ConvertOptions) (*Graph,
 		}
 	}
 	startData := encodeStart(start)
+	if codec == CodecV3 {
+		startData = encodeStartV3(start, byteOff)
+	}
 	if err := fsutil.WriteFile(tilesPath(base), data, 0o644); err != nil {
 		return nil, err
 	}
@@ -152,7 +205,13 @@ func Convert(el *graph.EdgeList, dir, name string, opts ConvertOptions) (*Graph,
 		return nil, err
 	}
 	if ver >= Version {
-		crcData := encodeTileCRCs(tileChecksums(data, start, tupleBytes))
+		var crcs []uint32
+		if codec == CodecV3 {
+			crcs = tileChecksumsAt(data, byteOff)
+		} else {
+			crcs = tileChecksums(data, start, tupleBytes)
+		}
+		crcData := encodeTileCRCs(crcs)
 		if err := fsutil.WriteFile(crcPath(base), crcData, 0o644); err != nil {
 			return nil, err
 		}

@@ -55,9 +55,20 @@ func ConvertExternal(edgePath string, numVertices uint32, directed bool,
 		return nil, err
 	}
 	nt := layout.NumTiles()
-	tupleBytes := int64(RawTupleBytes)
-	if opts.SNB {
-		tupleBytes = SNBTupleBytes
+	codec, err := opts.codec()
+	if err != nil {
+		return nil, err
+	}
+	ver, err := opts.formatVersion(codec)
+	if err != nil {
+		return nil, err
+	}
+	// Per-tuple staging size: encoded bytes for the fixed-width codecs, a
+	// 4-byte packed sort key for v3 (the block encoding happens per tile
+	// at scatter time).
+	tupleBytes := codec.TupleBytes()
+	if codec == CodecV3 {
+		tupleBytes = 4
 	}
 
 	// Pass 1: count tuples per tile, compute degrees.
@@ -152,9 +163,12 @@ func ConvertExternal(edgePath string, numVertices uint32, directed bool,
 	err = streamEdgeFile(edgePath, numVertices, func(s, d uint32) {
 		eachStoredDir(layout, directed, s, d, func(di int, ts, td uint32) {
 			binary.LittleEndian.PutUint32(rec[0:4], uint32(di))
-			if opts.SNB {
+			switch codec {
+			case CodecSNB:
 				PutSNB(rec[4:], uint16(ts&mask), uint16(td&mask))
-			} else {
+			case CodecV3:
+				binary.LittleEndian.PutUint32(rec[4:], V3Key(ts&mask, td&mask, opts.TileBits))
+			default:
 				PutRaw(rec[4:], ts, td)
 			}
 			// Buffered writes cannot fail until flush; collect then.
@@ -173,11 +187,6 @@ func ConvertExternal(edgePath string, numVertices uint32, directed bool,
 		}
 	}
 
-	ver, err := opts.formatVersion()
-	if err != nil {
-		return nil, err
-	}
-
 	// Scatter each bucket in memory and append to the tiles file. The
 	// output is staged in a temporary file and renamed into place only
 	// once fully written and fsynced, so a crash mid-scatter leaves no
@@ -194,6 +203,12 @@ func ConvertExternal(edgePath string, numVertices uint32, directed bool,
 	tilesHash := crc32.New(castagnoli)
 	crcs := make([]uint32, nt)
 	next := make([]int64, nt)
+	var byteOff []int64
+	var keyScratch []uint32
+	var encScratch []byte
+	if codec == CodecV3 {
+		byteOff = make([]int64, nt+1)
+	}
 	for bi, b := range buckets {
 		buf := make([]byte, b.bytes)
 		baseTuples := start[b.loTile]
@@ -219,6 +234,26 @@ func ConvertExternal(edgePath string, numVertices uint32, directed bool,
 			copy(buf[at:at+tupleBytes], rec[4:4+tupleBytes])
 		}
 		f.Close()
+		if codec == CodecV3 {
+			// Per tile: decode the scattered sort keys, sort, and emit the
+			// block encoding; CRCs, the whole-file hash and the byte-offset
+			// index all come from the encoded bytes.
+			for i := b.loTile; i < b.hiTile; i++ {
+				raw := buf[(start[i]-baseTuples)*tupleBytes : (start[i+1]-baseTuples)*tupleBytes]
+				keyScratch = keyScratch[:0]
+				for p := 0; p < len(raw); p += 4 {
+					keyScratch = append(keyScratch, binary.LittleEndian.Uint32(raw[p:]))
+				}
+				encScratch = AppendV3(encScratch[:0], keyScratch, opts.TileBits)
+				crcs[i] = Checksum(encScratch)
+				byteOff[i+1] = byteOff[i] + int64(len(encScratch))
+				tilesHash.Write(encScratch)
+				if _, err := ow.Write(encScratch); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
 		for i := b.loTile; i < b.hiTile; i++ {
 			crcs[i] = Checksum(buf[(start[i]-baseTuples)*tupleBytes : (start[i+1]-baseTuples)*tupleBytes])
 		}
@@ -243,7 +278,10 @@ func ConvertExternal(edgePath string, numVertices uint32, directed bool,
 		GroupQ:      layout.Q,
 		Directed:    directed,
 		Half:        half,
-		SNB:         opts.SNB,
+		SNB:         codec.SNB(),
+	}
+	if codec == CodecV3 || opts.Codec != "" {
+		m.Codec = codec.String()
 	}
 	var degData []byte
 	if degrees != nil {
@@ -261,6 +299,11 @@ func ConvertExternal(edgePath string, numVertices uint32, directed bool,
 		}
 	}
 	startData := encodeStart(start)
+	tilesBytes := numStored * tupleBytes
+	if codec == CodecV3 {
+		startData = encodeStartV3(start, byteOff)
+		tilesBytes = byteOff[nt]
+	}
 	if err := fsutil.WriteFile(startPath(base), startData, 0o644); err != nil {
 		return nil, err
 	}
@@ -271,7 +314,7 @@ func ConvertExternal(edgePath string, numVertices uint32, directed bool,
 		}
 		m.Manifest = &Manifest{
 			Start:   sumBytes(startData),
-			Tiles:   SectionSum{Bytes: numStored * tupleBytes, CRC32C: tilesHash.Sum32()},
+			Tiles:   SectionSum{Bytes: tilesBytes, CRC32C: tilesHash.Sum32()},
 			TileCRC: sumBytes(crcData),
 		}
 		if degData != nil {

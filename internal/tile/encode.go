@@ -35,12 +35,14 @@ func GetRaw(buf []byte) (src, dst uint32) {
 	return binary.LittleEndian.Uint32(buf[0:4]), binary.LittleEndian.Uint32(buf[4:8])
 }
 
-// DecodeTuples iterates over the tuples of one tile's data. rowBase and
-// colBase are the first vertex IDs of the tile's row and column ranges
-// (ignored for raw tuples, which carry full IDs). It returns an error if
-// data is not a whole number of tuples.
-func DecodeTuples(data []byte, snb bool, rowBase, colBase uint32, fn func(src, dst uint32)) error {
-	if snb {
+// DecodeTuples iterates over the tuples of one tile's data in codec c.
+// rowBase and colBase are the first vertex IDs of the tile's row and
+// column ranges (ignored for raw tuples, which carry full IDs). It
+// returns an error if data is not a whole number of tuples (fixed-width
+// codecs) or its block structure is corrupt (v3).
+func DecodeTuples(data []byte, c Codec, rowBase, colBase uint32, fn func(src, dst uint32)) error {
+	switch c {
+	case CodecSNB:
 		if len(data)%SNBTupleBytes != 0 {
 			return fmt.Errorf("tile: %d bytes is not a whole number of SNB tuples", len(data))
 		}
@@ -49,6 +51,8 @@ func DecodeTuples(data []byte, snb bool, rowBase, colBase uint32, fn func(src, d
 			fn(rowBase+uint32(s), colBase+uint32(d))
 		}
 		return nil
+	case CodecV3:
+		return DecodeV3(data, rowBase, colBase, fn)
 	}
 	if len(data)%RawTupleBytes != 0 {
 		return fmt.Errorf("tile: %d bytes is not a whole number of raw tuples", len(data))

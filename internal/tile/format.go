@@ -35,12 +35,18 @@ import (
 // Magic identifies G-Store metadata files.
 const Magic = "GSTORE-TILES"
 
-// Version is the current format version: v2 adds per-tile CRC32C
-// checksums, the section manifest, and the meta checksum trailer.
+// Version is the current fixed-width format version: v2 adds per-tile
+// CRC32C checksums, the section manifest, and the meta checksum trailer.
 const Version = 2
 
 // VersionV1 is the legacy checksum-free format, still readable.
 const VersionV1 = 1
+
+// VersionV3 is the compressed-tile format: v2's integrity layer plus the
+// sorted delta+varint block codec for tile data (codec "v3") and a
+// start-edge file extended with per-tile byte offsets. Readers without v3
+// support reject these graphs at Open instead of misreading them.
+const VersionV3 = 3
 
 // SNBTupleBytes is the on-disk tuple size with the SNB representation:
 // two 16-bit in-tile offsets (§IV-B).
@@ -69,7 +75,12 @@ type Meta struct {
 	// symmetry saving, §IV-A).
 	Half bool `json:"half"`
 	// SNB is true when tuples use the 2-byte-per-endpoint encoding.
+	// Retained alongside Codec for v1/v2 compatibility; TupleCodec
+	// resolves the two.
 	SNB bool `json:"snb"`
+	// Codec names the tuple encoding: "" (derive from SNB), "snb",
+	// "raw", or "v3" (sorted delta+varint blocks; requires Version 3).
+	Codec string `json:"codec,omitempty"`
 	// DegreeFormat is "", "compact" (§IV-C) or "plain".
 	DegreeFormat string `json:"degree_format,omitempty"`
 	// Manifest records each section file's byte length and whole-file
@@ -77,12 +88,31 @@ type Meta struct {
 	Manifest *Manifest `json:"manifest,omitempty"`
 }
 
-// TupleBytes returns the per-tuple on-disk size.
-func (m *Meta) TupleBytes() int64 {
-	if m.SNB {
-		return SNBTupleBytes
+// TupleBytes returns the per-tuple on-disk size for fixed-width codecs,
+// and 0 for the variable-width v3 codec (whose byte extents come from the
+// extended start-edge index instead).
+func (m *Meta) TupleBytes() int64 { return m.TupleCodec().TupleBytes() }
+
+// TupleCodec resolves the header's codec fields into a Codec value. For
+// v1/v2 headers (empty Codec string) the legacy SNB flag decides between
+// SNB and raw.
+func (m *Meta) TupleCodec() Codec {
+	if m.Codec == "" {
+		if m.SNB {
+			return CodecSNB
+		}
+		return CodecRaw
 	}
-	return RawTupleBytes
+	c, err := ParseCodec(m.Codec)
+	if err != nil {
+		// Validate rejects unknown codec strings at read time; fall back
+		// to the SNB-flag resolution for unvalidated Metas.
+		if m.SNB {
+			return CodecSNB
+		}
+		return CodecRaw
+	}
+	return c
 }
 
 // Validate checks internal consistency of the header.
@@ -90,9 +120,9 @@ func (m *Meta) Validate() error {
 	switch {
 	case m.Magic != Magic:
 		return fmt.Errorf("tile: bad magic %q", m.Magic)
-	case m.Version != Version && m.Version != VersionV1:
-		return fmt.Errorf("tile: unsupported version %d (this build reads v%d and v%d)",
-			m.Version, VersionV1, Version)
+	case m.Version != Version && m.Version != VersionV1 && m.Version != VersionV3:
+		return fmt.Errorf("tile: unsupported version %d (this build reads v%d, v%d and v%d)",
+			m.Version, VersionV1, Version, VersionV3)
 	case m.Version >= Version && m.Manifest == nil:
 		return fmt.Errorf("tile: v%d header without a section manifest", m.Version)
 	case m.NumVertices == 0:
@@ -103,6 +133,17 @@ func (m *Meta) Validate() error {
 		return fmt.Errorf("tile: half storage is only defined for undirected graphs")
 	case m.NumStored < 0 || m.NumOriginal < 0:
 		return fmt.Errorf("tile: negative edge count")
+	}
+	c, err := ParseCodec(m.Codec)
+	if err != nil {
+		return err
+	}
+	if m.Codec != "" && c != CodecV3 && c.SNB() != m.SNB {
+		return fmt.Errorf("tile: codec %q contradicts snb=%v", m.Codec, m.SNB)
+	}
+	if (c == CodecV3) != (m.Version == VersionV3) {
+		return fmt.Errorf("tile: format v%d and codec %q must go together (header has version %d, codec %q)",
+			VersionV3, CodecV3, m.Version, m.Codec)
 	}
 	return nil
 }

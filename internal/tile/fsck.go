@@ -114,10 +114,13 @@ func Fsck(p string) *FsckReport {
 		return r
 	}
 	nt := layout.NumTiles()
+	codec := m.TupleCodec()
 	tb := m.TupleBytes()
 
 	// --- start --------------------------------------------------------
-	var start []int64
+	// For v3 graphs the start file also carries the byte-offset index
+	// that locates each variable-width tile.
+	var start, byteOff []int64
 	if sdata, err := os.ReadFile(startPath(p)); err != nil {
 		r.add("start", -1, "unreadable: %v", err)
 	} else {
@@ -126,12 +129,12 @@ func Fsck(p string) *FsckReport {
 				r.add("start", -1, "%v", err)
 			}
 		}
-		if s, err := parseStart(sdata, startPath(p), nt); err != nil {
+		if s, bo, err := parseStartCodec(sdata, startPath(p), nt, codec); err != nil {
 			r.add("start", -1, "%v", err)
 		} else if s[nt] != m.NumStored {
 			r.add("start", -1, "ends at %d tuples, meta says %d", s[nt], m.NumStored)
 		} else {
-			start = s
+			start, byteOff = s, bo
 		}
 	}
 
@@ -167,7 +170,16 @@ func Fsck(p string) *FsckReport {
 				r.add("tiles", -1, "stat: %v", err)
 				return
 			}
-			if want := m.NumStored * tb; st.Size() != want {
+			if codec == CodecV3 {
+				// Variable-width tiles: the authoritative size is the
+				// byte-offset index (cross-checked against the manifest
+				// digest above when available).
+				if byteOff != nil && st.Size() != byteOff[nt] {
+					r.add("tiles", -1, "file is %d bytes, byte-offset index says %d",
+						st.Size(), byteOff[nt])
+					return
+				}
+			} else if want := m.NumStored * tb; st.Size() != want {
 				r.add("tiles", -1, "file is %d bytes, want %d (%d tuples × %d bytes)",
 					st.Size(), want, m.NumStored, tb)
 				return
@@ -180,18 +192,21 @@ func Fsck(p string) *FsckReport {
 					r.add("tiles", -1, "%v", err)
 				}
 			}
-			if start == nil {
+			if start == nil || (codec == CodecV3 && byteOff == nil) {
 				return // cannot locate individual tiles without the index
 			}
 			var buf []byte
 			for i := 0; i < nt; i++ {
-				n := (start[i+1] - start[i]) * tb
+				off, n := start[i]*tb, (start[i+1]-start[i])*tb
+				if codec == CodecV3 {
+					off, n = byteOff[i], byteOff[i+1]-byteOff[i]
+				}
 				if int64(cap(buf)) < n {
 					buf = make([]byte, n)
 				}
 				b := buf[:n]
 				if n > 0 {
-					if _, err := tf.ReadAt(b, start[i]*tb); err != nil {
+					if _, err := tf.ReadAt(b, off); err != nil {
 						r.add("tiles", i, "read: %v", err)
 						continue
 					}
@@ -210,7 +225,7 @@ func Fsck(p string) *FsckReport {
 				cLo, cHi := layout.VertexRange(co.Col)
 				bad := -1
 				idx := 0
-				err := DecodeTuples(b, m.SNB, rLo, cLo, func(s, d uint32) {
+				err := DecodeTuples(b, codec, rLo, cLo, func(s, d uint32) {
 					if bad < 0 && (s < rLo || s >= rHi || d < cLo || d >= cHi ||
 						s >= m.NumVertices || d >= m.NumVertices) {
 						bad = idx
@@ -230,6 +245,12 @@ func Fsck(p string) *FsckReport {
 				case bad >= 0:
 					r.add("tiles", i, "tuple %d outside tile ranges (row %d, col %d)",
 						bad, co.Row, co.Col)
+				case int64(idx) != start[i+1]-start[i]:
+					// Meaningful for v3, where the block headers carry their
+					// own tuple counts; fixed-width codecs satisfy this by
+					// construction.
+					r.add("tiles", i, "decodes to %d tuples, start-edge index says %d",
+						idx, start[i+1]-start[i])
 				}
 			}
 		}()

@@ -97,21 +97,111 @@ func FuzzDegreeFile(f *testing.F) {
 }
 
 func FuzzDecodeTuples(f *testing.F) {
-	f.Add([]byte{1, 2, 3, 4}, true)
-	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, false)
-	f.Add([]byte{1}, true)
-	f.Fuzz(func(t *testing.T, data []byte, snb bool) {
+	f.Add([]byte{1, 2, 3, 4}, uint8(CodecSNB))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(CodecRaw))
+	f.Add([]byte{1}, uint8(CodecSNB))
+	f.Add(AppendV3(nil, []uint32{0, 1, 17, 300}, 12), uint8(CodecV3))
+	f.Add([]byte{3, 1, 0}, uint8(CodecV3)) // truncated frame
+	f.Fuzz(func(t *testing.T, data []byte, codec uint8) {
+		c := Codec(codec % 3)
 		n := 0
-		err := DecodeTuples(data, snb, 64, 128, func(s, d uint32) { n++ })
-		w := RawTupleBytes
-		if snb {
-			w = SNBTupleBytes
-		}
-		if err == nil && n != len(data)/w {
-			t.Fatalf("decoded %d tuples from %d bytes", n, len(data))
-		}
-		if err != nil && len(data)%w == 0 {
-			t.Fatalf("aligned data rejected: %v", err)
+		err := DecodeTuples(data, c, 64, 128, func(s, d uint32) { n++ })
+		switch c {
+		case CodecV3:
+			// Arbitrary bytes may or may not frame; either way no panic,
+			// and acceptance must agree with the cheap framing walk.
+			if (err == nil) != (ValidateV3Frames(data) == nil) {
+				t.Fatalf("decode err=%v disagrees with ValidateV3Frames=%v",
+					err, ValidateV3Frames(data))
+			}
+		default:
+			w := int(c.TupleBytes())
+			if err == nil && n != len(data)/w {
+				t.Fatalf("decoded %d tuples from %d bytes", n, len(data))
+			}
+			if err != nil && len(data)%w == 0 {
+				t.Fatalf("aligned data rejected: %v", err)
+			}
 		}
 	})
+}
+
+// FuzzV3RoundTrip encodes arbitrary offset pairs at several tile widths
+// and requires the decode to return exactly the sorted input.
+func FuzzV3RoundTrip(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 1, 2, 3}, uint8(12))
+	f.Add([]byte{9, 9}, uint8(4))
+	f.Add([]byte{}, uint8(16))
+	f.Fuzz(func(t *testing.T, raw []byte, bits uint8) {
+		switch bits {
+		case 4, 12, 16:
+		default:
+			t.Skip()
+		}
+		mask := uint32(1)<<bits - 1
+		var keys []uint32
+		for i := 0; i+2 <= len(raw); i += 2 {
+			so := (uint32(raw[i]) * 0x9e37) & mask
+			do := (uint32(raw[i+1]) * 0x85eb) & mask
+			keys = append(keys, V3Key(so, do, uint(bits)))
+		}
+		want := append([]uint32(nil), keys...)
+		data := AppendV3(nil, keys, uint(bits))
+		if err := ValidateV3Frames(data); err != nil {
+			t.Fatalf("encoder produced invalid framing: %v", err)
+		}
+		var got []uint32
+		if err := DecodeV3(data, 0, 0, func(s, d uint32) {
+			got = append(got, V3Key(s, d, uint(bits)))
+		}); err != nil {
+			t.Fatalf("round trip decode: %v", err)
+		}
+		sortU32(want)
+		if len(got) != len(want) {
+			t.Fatalf("round trip: %d tuples in, %d out", len(want), len(got))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("tuple %d: got key %#x want %#x", i, got[i], want[i])
+			}
+		}
+		// Chunking must partition the data into whole blocks.
+		views := SplitV3(data, 16)
+		total := 0
+		for _, v := range views {
+			if err := ValidateV3Frames(v); err != nil {
+				t.Fatalf("chunk not block-aligned: %v", err)
+			}
+			total += len(v)
+		}
+		if total != len(data) {
+			t.Fatalf("chunks cover %d of %d bytes", total, len(data))
+		}
+	})
+}
+
+// FuzzV3Corrupt flips bytes in valid encodings: decode must either error
+// or stay inside the field sanity bounds — never panic.
+func FuzzV3Corrupt(f *testing.F) {
+	seed := AppendV3(nil, []uint32{0, 5, 5, 1 << 20, 1<<24 | 9}, 12)
+	f.Add(seed, 0, uint8(0xff))
+	f.Add(seed, 1, uint8(0x80))
+	f.Fuzz(func(t *testing.T, data []byte, pos int, xor uint8) {
+		if len(data) == 0 || xor == 0 {
+			t.Skip()
+		}
+		mut := append([]byte(nil), data...)
+		mut[((pos%len(mut))+len(mut))%len(mut)] ^= xor
+		_ = DecodeV3(mut, 0, 0, func(s, d uint32) {})
+		_ = ValidateV3Frames(mut)
+		_ = SplitV3(mut, 8)
+	})
+}
+
+func sortU32(s []uint32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 }

@@ -14,9 +14,13 @@ type Graph struct {
 	Meta   *Meta
 	Layout *grid.Layout
 	// Start holds, for every stored tile in disk order, the prefix sum of
-	// tuple counts (NumTiles+1 entries). Tile i occupies tuples
-	// [Start[i], Start[i+1]) of the tiles file.
+	// tuple counts (NumTiles+1 entries). For fixed-width codecs tile i
+	// occupies tuples [Start[i], Start[i+1]) of the tiles file.
 	Start []int64
+	// ByteOff holds per-tile byte-offset prefix sums (NumTiles+1
+	// entries) for the variable-width v3 codec, whose tile extents
+	// cannot be derived from tuple counts. Nil for v1/v2 graphs.
+	ByteOff []int64
 
 	base    string
 	tiles   *os.File
@@ -66,7 +70,7 @@ func Open(p string) (*Graph, error) {
 		warnf("tile: %s: legacy v%d format, checksum verification disabled (re-convert for end-to-end integrity)",
 			p, m.Version)
 	}
-	start, err := parseStart(sdata, startPath(p), nt)
+	start, byteOff, err := parseStartCodec(sdata, startPath(p), nt, m.TupleCodec())
 	if err != nil {
 		return nil, err
 	}
@@ -83,17 +87,21 @@ func Open(p string) (*Graph, error) {
 		f.Close()
 		return nil, err
 	}
-	if want := start[len(start)-1] * m.TupleBytes(); st.Size() != want {
+	want := start[len(start)-1] * m.TupleBytes()
+	if byteOff != nil {
+		want = byteOff[len(byteOff)-1]
+	}
+	if st.Size() != want {
 		f.Close()
-		return nil, fmt.Errorf("tile: tiles file is %d bytes but the start-edge index ends at %d tuples (%d bytes)",
-			st.Size(), start[len(start)-1], want)
+		return nil, fmt.Errorf("tile: tiles file is %d bytes but the start-edge index says %d bytes",
+			st.Size(), want)
 	}
 	if m.Version >= Version && m.Manifest.Tiles.Bytes != st.Size() {
 		f.Close()
 		return nil, fmt.Errorf("tile: tiles file is %d bytes, manifest says %d",
 			st.Size(), m.Manifest.Tiles.Bytes)
 	}
-	return &Graph{Meta: m, Layout: layout, Start: start, base: p, tiles: f, tileCRC: tileCRC}, nil
+	return &Graph{Meta: m, Layout: layout, Start: start, ByteOff: byteOff, base: p, tiles: f, tileCRC: tileCRC}, nil
 }
 
 // Checksummed reports whether the graph carries per-tile CRC32C
@@ -126,6 +134,9 @@ func (g *Graph) TupleCount(i int) int64 { return g.Start[i+1] - g.Start[i] }
 // TileByteRange returns the byte offset and length of tile i in the tiles
 // file.
 func (g *Graph) TileByteRange(i int) (off, n int64) {
+	if g.ByteOff != nil {
+		return g.ByteOff[i], g.ByteOff[i+1] - g.ByteOff[i]
+	}
 	tb := g.Meta.TupleBytes()
 	return g.Start[i] * tb, g.TupleCount(i) * tb
 }
@@ -167,7 +178,7 @@ func (g *Graph) ForEachEdge(fn func(src, dst uint32)) error {
 		c := g.Layout.CoordAt(i)
 		rb, _ := g.Layout.VertexRange(c.Row)
 		cb, _ := g.Layout.VertexRange(c.Col)
-		if err := DecodeTuples(data, g.Meta.SNB, rb, cb, fn); err != nil {
+		if err := DecodeTuples(data, g.Meta.TupleCodec(), rb, cb, fn); err != nil {
 			return err
 		}
 	}
@@ -177,10 +188,15 @@ func (g *Graph) ForEachEdge(fn func(src, dst uint32)) error {
 // DataBytes is the size of the tile data (the paper's Table II "G-Store
 // Size" column counts only this; the start-edge file is reported
 // separately).
-func (g *Graph) DataBytes() int64 { return g.Meta.NumStored * g.Meta.TupleBytes() }
+func (g *Graph) DataBytes() int64 {
+	if g.ByteOff != nil {
+		return g.ByteOff[len(g.ByteOff)-1]
+	}
+	return g.Meta.NumStored * g.Meta.TupleBytes()
+}
 
 // StartBytes is the size of the start-edge file.
-func (g *Graph) StartBytes() int64 { return int64(len(g.Start)) * 8 }
+func (g *Graph) StartBytes() int64 { return int64(len(g.Start)+len(g.ByteOff)) * 8 }
 
 // Degrees loads the degree file and returns a DegreeSource: the compact
 // table for "compact" format, a plain array for the fallback. On a v2
@@ -212,6 +228,28 @@ func readStart(path string, numTiles int) ([]int64, error) {
 		return nil, err
 	}
 	return parseStart(data, path, numTiles)
+}
+
+// parseStartCodec decodes the start-edge file for a codec: fixed-width
+// codecs store tuple prefix sums only; v3 appends a second array of byte
+// offset prefix sums (same length, same invariants) because tile byte
+// extents are no longer derivable from tuple counts.
+func parseStartCodec(data []byte, path string, numTiles int, c Codec) (start, byteOff []int64, err error) {
+	if c != CodecV3 {
+		start, err = parseStart(data, path, numTiles)
+		return start, nil, err
+	}
+	half := (numTiles + 1) * 8
+	if len(data) != 2*half {
+		return nil, nil, fmt.Errorf("tile: v3 start-edge file %s is %d bytes, want %d", path, len(data), 2*half)
+	}
+	if start, err = parseStart(data[:half], path, numTiles); err != nil {
+		return nil, nil, err
+	}
+	if byteOff, err = parseStart(data[half:], path+" (byte offsets)", numTiles); err != nil {
+		return nil, nil, err
+	}
+	return start, byteOff, nil
 }
 
 // parseStart decodes and validates a start-edge file: correct length for
@@ -247,6 +285,12 @@ func encodeStart(start []int64) []byte {
 		binary.LittleEndian.PutUint64(buf[i*8:], uint64(s))
 	}
 	return buf
+}
+
+// encodeStartV3 lays out the extended v3 start-edge file: tuple prefix
+// sums followed by byte-offset prefix sums.
+func encodeStartV3(start, byteOff []int64) []byte {
+	return append(encodeStart(start), encodeStart(byteOff)...)
 }
 
 // Degree file layout: uint32 overflow count, then the 2-byte small array,

@@ -46,10 +46,10 @@ func TestRawRoundTrip(t *testing.T) {
 }
 
 func TestDecodeTuplesBadLength(t *testing.T) {
-	if err := DecodeTuples(make([]byte, 7), true, 0, 0, func(uint32, uint32) {}); err == nil {
+	if err := DecodeTuples(make([]byte, 7), CodecSNB, 0, 0, func(uint32, uint32) {}); err == nil {
 		t.Fatal("accepted 7 bytes of SNB tuples")
 	}
-	if err := DecodeTuples(make([]byte, 12), false, 0, 0, func(uint32, uint32) {}); err == nil {
+	if err := DecodeTuples(make([]byte, 12), CodecRaw, 0, 0, func(uint32, uint32) {}); err == nil {
 		t.Fatal("accepted 12 bytes of raw tuples")
 	}
 }
@@ -84,7 +84,7 @@ func TestPaperFigure4(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []graph.Edge
-	if err := DecodeTuples(data, true, 4, 4, func(s, d uint32) {
+	if err := DecodeTuples(data, CodecSNB, 4, 4, func(s, d uint32) {
 		got = append(got, graph.Edge{Src: s, Dst: d})
 	}); err != nil {
 		t.Fatal(err)

@@ -28,7 +28,7 @@ func Verify(g *Graph) error {
 		cLo, cHi := layout.VertexRange(co.Col)
 		bad := -1
 		idx := 0
-		err = DecodeTuples(data, g.Meta.SNB, rLo, cLo, func(s, d uint32) {
+		err = DecodeTuples(data, g.Meta.TupleCodec(), rLo, cLo, func(s, d uint32) {
 			if bad >= 0 {
 				idx++
 				return
@@ -50,6 +50,10 @@ func Verify(g *Graph) error {
 		if bad >= 0 {
 			return fmt.Errorf("tile: verify: tile %d (row %d, col %d) tuple %d outside its ranges",
 				i, co.Row, co.Col, bad)
+		}
+		if int64(idx) != g.TupleCount(i) {
+			return fmt.Errorf("tile: verify: tile %d decodes to %d tuples, start-edge index says %d",
+				i, idx, g.TupleCount(i))
 		}
 	}
 	if deg != nil {

@@ -94,7 +94,54 @@ func diff(prefix string, base, cur map[string]interface{}) []string {
 			missing = append(missing, diff(path, bm, cm)...)
 			continue
 		}
+		if ba, isArr := bv.([]interface{}); isArr {
+			ca, curIsArr := cv.([]interface{})
+			if !curIsArr {
+				missing = append(missing, path)
+				continue
+			}
+			missing = append(missing, diffArray(path, ba, ca)...)
+			continue
+		}
 		fmt.Printf("%-45s  %15s  %15s  %9s\n", path, render(bv), render(cv), delta(bv, cv))
+	}
+	return missing
+}
+
+// diffArray walks baseline array elements by index. A shorter current
+// array counts the tail as missing; extra current elements only print.
+// Scalar elements diff like leaf fields; object elements recurse.
+func diffArray(prefix string, base, cur []interface{}) []string {
+	var missing []string
+	for i, bv := range base {
+		path := fmt.Sprintf("%s[%d]", prefix, i)
+		if i >= len(cur) {
+			missing = append(missing, path)
+			continue
+		}
+		cv := cur[i]
+		switch bx := bv.(type) {
+		case map[string]interface{}:
+			cm, ok := cv.(map[string]interface{})
+			if !ok {
+				missing = append(missing, path)
+				continue
+			}
+			missing = append(missing, diff(path, bx, cm)...)
+		case []interface{}:
+			ca, ok := cv.([]interface{})
+			if !ok {
+				missing = append(missing, path)
+				continue
+			}
+			missing = append(missing, diffArray(path, bx, ca)...)
+		default:
+			fmt.Printf("%-45s  %15s  %15s  %9s\n", path, render(bv), render(cv), delta(bv, cv))
+		}
+	}
+	for i := len(base); i < len(cur); i++ {
+		fmt.Printf("%-45s  %15s  %15s  %9s\n",
+			fmt.Sprintf("%s[%d]", prefix, i), "-", render(cur[i]), "new")
 	}
 	return missing
 }

@@ -15,6 +15,10 @@
 // the report compares serialized execution against the shared-scan
 // scheduler (QPS, p50/p95/p99 latency, bytes per query). With -target it
 // load-tests a running gstored instead of an in-process server.
+//
+// The serve-personal experiment benchmarks the personalized-query path:
+// a Zipf mix of single-root BFS queries served one-root-per-slot vs
+// fused into multi-source runs (-batch-window) with the result cache on.
 package main
 
 import (
@@ -43,6 +47,7 @@ func main() {
 		duration   = flag.Duration("duration", 0, "serving benchmark phase duration (default 5s, quick 2s)")
 		target     = flag.String("target", "", "base URL of a running gstored to benchmark (default: in-process server)")
 		benchOut   = flag.String("benchout", "", "file for the serving benchmark's JSON report")
+		batchWin   = flag.Duration("batch-window", 0, "coalescing window of the serve-personal fused phase (default 2ms)")
 	)
 	flag.Parse()
 
@@ -91,6 +96,7 @@ func main() {
 	cfg.BenchDuration = *duration
 	cfg.Target = *target
 	cfg.BenchOut = *benchOut
+	cfg.BatchWindow = *batchWin
 	cfg.Defaults()
 
 	var ids []string

@@ -7,7 +7,10 @@
 //	gstored -listen :8080 -graph social=data/twitter -graph web=data/crawl
 //
 // Endpoints: GET /healthz, GET /metrics (Prometheus text), GET /graphs,
-// GET /graphs/{name}, POST /graphs/{name}/{bfs|msbfs|pagerank|wcc|scc},
+// GET /graphs/{name}, POST /graphs/{name}/{bfs|msbfs|pagerank|ppr|wcc|scc},
+// GET /graphs/{name}/{bfs|ppr}?root=N (the personalized fast path:
+// result-cached per -qcache-bytes/-qcache-ttl, and concurrent BFS roots
+// coalesce into one multi-source run within -batch-window),
 // POST /graphs/{name}/edges (batch edge mutations through the WAL-backed
 // write path; disabled by -readonly), and (unless -pprof=false) the
 // net/http/pprof profiling handlers under /debug/pprof/.
@@ -58,6 +61,10 @@ func main() {
 	chunk := flag.Int64("chunk", 0, "work-item chunk size in bytes (0 = 256KiB default, -1 = whole tiles)")
 	maxRuns := flag.Int("maxruns", 8, "concurrent algorithm runs co-scheduled per graph (1-64)")
 	queueLen := flag.Int("queue", 64, "runs queued per graph beyond -maxruns before 429s")
+	qcacheBytes := flag.Int64("qcache-bytes", 64<<20, "personalized-query result cache budget in bytes (0 disables)")
+	qcacheTTL := flag.Duration("qcache-ttl", time.Minute, "result cache entry TTL")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "coalescing window fusing concurrent GET bfs roots into one msbfs run (0 disables)")
+	tenantMax := flag.Int("tenant-maxruns", 0, "max concurrent runs per ?tenant= label (0 = unlimited)")
 	disks := flag.Int("disks", 8, "simulated SSD count")
 	bw := flag.Float64("bandwidth", 0, "per-disk bandwidth in bytes/s (0 = unthrottled)")
 	pprofOn := flag.Bool("pprof", true, "serve net/http/pprof under /debug/pprof/")
@@ -86,6 +93,9 @@ func main() {
 
 	srv := server.New()
 	srv.ReadOnly = *readOnly
+	srv.QCacheBytes = *qcacheBytes
+	srv.QCacheTTL = *qcacheTTL
+	srv.TenantMaxRuns = *tenantMax
 	defer srv.Close()
 	for _, spec := range graphs {
 		name, path, ok := strings.Cut(spec, "=")
@@ -105,6 +115,7 @@ func main() {
 		opts.ChunkBytes = *chunk
 		opts.MaxConcurrentRuns = *maxRuns
 		opts.MaxQueuedRuns = *queueLen
+		opts.BatchWindow = *batchWindow
 		opts.Disks = *disks
 		opts.Bandwidth = *bw
 		if *faultRate > 0 || *faultShort > 0 || *faultCorrupt > 0 {

@@ -239,6 +239,19 @@ func (e *Engine) MSBFS(roots []uint32) ([][]int32, *Stats, error) {
 	return out, st, nil
 }
 
+// PPR runs personalized PageRank: the restart-vector variant where the
+// teleport distribution is a point mass at root, so rank concentrates in
+// the query vertex's neighborhood. Returns the rank vector (a
+// probability distribution summing to 1) plus run statistics.
+func (e *Engine) PPR(root uint32, iterations int) ([]float64, *Stats, error) {
+	p := algo.NewPPR(root, iterations)
+	st, err := e.e.Run(context.Background(), p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p.Ranks(), st, nil
+}
+
 // SCC computes strongly connected components of a directed graph; every
 // vertex receives the smallest vertex ID of its SCC. This is the
 // algorithm §IV-A highlights as requiring both edge directions, which

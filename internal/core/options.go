@@ -125,6 +125,13 @@ type Options struct {
 	// arriving with the batch and the queue both full is rejected with
 	// ErrQueueFull (servers surface 429). Zero queues nothing.
 	MaxQueuedRuns int
+	// BatchWindow is how long Scheduler.RunPersonalBFS holds a
+	// single-root BFS submission open for coalescing: requests for the
+	// same graph arriving within the window fuse into one multi-source
+	// BFS (up to 64 roots) occupying a single run slot. Zero (the
+	// default) disables coalescing — each personalized query runs as a
+	// solo BFS, the pre-batching behavior.
+	BatchWindow time.Duration
 }
 
 // HDDTier describes the slow tier of a tiered store.
@@ -183,6 +190,9 @@ func (o *Options) normalize() error {
 	}
 	if o.MaxQueuedRuns < 0 {
 		o.MaxQueuedRuns = 0
+	}
+	if o.BatchWindow < 0 {
+		o.BatchWindow = 0
 	}
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = 100 * time.Microsecond
@@ -280,6 +290,10 @@ type Stats struct {
 	// SharedRuns is the peak number of runs co-scheduled on this run's
 	// sweep batch, itself included (1 = it effectively ran solo).
 	SharedRuns int
+	// BatchedRoots is, for personalized BFS submissions, how many query
+	// roots shared the one run slot that answered this query (1 = no
+	// coalescing happened; up to 64). Zero for ordinary runs.
+	BatchedRoots int
 
 	MetadataBytes int64
 	Mem           mem.Stats

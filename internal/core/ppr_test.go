@@ -1,0 +1,81 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/gwu-systems/gstore/internal/algo"
+	"github.com/gwu-systems/gstore/internal/graph"
+)
+
+// TestEnginePPRMatchesReference pins the engine's personalized PageRank
+// to the in-memory reference for several roots, including a high-degree
+// hub and an arbitrary tail vertex.
+func TestEnginePPRMatchesReference(t *testing.T) {
+	el := kron(t, 10, 8, 47)
+	g := convert(t, el, 6, 4)
+	csr := graph.NewCSR(el, false)
+	const iters = 15
+
+	for _, root := range []uint32{0, 1, 513, 900} {
+		a := algo.NewPPR(root, iters)
+		runAlg(t, g, smallOpts(), a)
+		want := graph.RefPersonalizedPageRank(csr, graph.VertexID(root), graph.DefaultPageRank(iters))
+		got := a.Ranks()
+		for v := range want {
+			if d := math.Abs(got[v] - want[v]); d > 1e-9 {
+				t.Fatalf("root %d: rank[%d] = %g, ref %g (|Δ|=%g)", root, v, got[v], want[v], d)
+			}
+		}
+		// The personalization property: the root itself carries at least
+		// the restart mass, and ranks sum to ~1 (probability distribution).
+		if got[root] < (1 - 0.85) {
+			t.Fatalf("root %d: rank[root] = %g below restart mass", root, got[root])
+		}
+		sum := 0.0
+		for _, r := range got {
+			sum += r
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("root %d: ranks sum to %g, want 1", root, sum)
+		}
+	}
+}
+
+// TestEnginePPRDiffersFromGlobal: a sanity check that the restart vector
+// actually personalizes — the PPR ranking from a tail root must not
+// equal global PageRank.
+func TestEnginePPRDiffersFromGlobal(t *testing.T) {
+	el := kron(t, 10, 8, 53)
+	g := convert(t, el, 6, 4)
+	const iters = 15
+
+	p := algo.NewPPR(700, iters)
+	runAlg(t, g, smallOpts(), p)
+	pr := algo.NewPageRank(iters)
+	runAlg(t, g, smallOpts(), pr)
+
+	diff := 0.0
+	for v := range p.Ranks() {
+		diff += math.Abs(p.Ranks()[v] - pr.Ranks()[v])
+	}
+	if diff < 0.1 {
+		t.Fatalf("PPR(700) within %g L1 of global PageRank — not personalized", diff)
+	}
+}
+
+// TestEnginePPRBadRoot: an out-of-range root fails Init as a bad
+// request, not a crash.
+func TestEnginePPRBadRoot(t *testing.T) {
+	el := kron(t, 10, 8, 59)
+	g := convert(t, el, 6, 4)
+	e, err := NewEngine(g, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Run(context.Background(), algo.NewPPR(g.Meta.NumVertices+1, 5)); err == nil {
+		t.Fatal("out-of-range PPR root ran without error")
+	}
+}

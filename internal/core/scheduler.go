@@ -43,6 +43,13 @@ type Scheduler struct {
 	maxRuns  int
 	maxQueue int
 
+	// PersonalRunHook, when non-nil, observes every underlying run the
+	// personalized-query path executes — once per coalesced msbfs (or
+	// solo fallback), with the undivided stats, never once per rider.
+	// Servers use it to publish engine counters without double counting.
+	// Set it before the first RunPersonalBFS; it is not synchronized.
+	PersonalRunHook func(st *Stats, err error)
+
 	mu       sync.Mutex
 	cond     *sync.Cond // signals sweepLoop exit (Close waits on it)
 	pending  []*runState
@@ -50,6 +57,13 @@ type Scheduler struct {
 	active   int // admitted runs: in the batch or in pending
 	sweeping bool
 	closed   bool
+
+	// Personalized-query coalescing state (see personal.go).
+	window     time.Duration
+	pmu        sync.Mutex
+	curBatch   *personalBatch
+	pclosed    bool
+	personalWG sync.WaitGroup
 }
 
 // queuedRun is one run waiting for admission.
@@ -64,7 +78,12 @@ type queuedRun struct {
 // NewScheduler wraps e. Concurrency limits come from the engine's
 // options (MaxConcurrentRuns, MaxQueuedRuns).
 func NewScheduler(e *Engine) *Scheduler {
-	s := &Scheduler{e: e, maxRuns: e.opts.MaxConcurrentRuns, maxQueue: e.opts.MaxQueuedRuns}
+	s := &Scheduler{
+		e:        e,
+		maxRuns:  e.opts.MaxConcurrentRuns,
+		maxQueue: e.opts.MaxQueuedRuns,
+		window:   e.opts.BatchWindow,
+	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
@@ -168,6 +187,12 @@ func (s *Scheduler) Close() {
 		}
 		s.queue = nil
 	}
+	s.mu.Unlock()
+	// Reject the open coalescing window and wait out in-flight batched
+	// runs before waiting for the sweep itself, so nothing fires into
+	// the engine after Close returns.
+	s.closePersonal()
+	s.mu.Lock()
 	for s.sweeping {
 		s.cond.Wait()
 	}

@@ -57,6 +57,9 @@ type Config struct {
 	Target string
 	// BenchOut, when set, receives the "serve" runner's JSON report.
 	BenchOut string
+	// BatchWindow is the coalescing window of the "serve-personal"
+	// runner's fused phase (default 2ms).
+	BatchWindow time.Duration
 }
 
 // Defaults fills unset fields.
@@ -123,6 +126,7 @@ func All() []Runner {
 		{"relabel", "Extension: degree-sorted vertex relabeling", ExtRelabel},
 		{"sweep", "Extension: thread-count sweep of the chunked dispatcher", ThreadSweep},
 		{"serve", "Extension: closed-loop concurrent serving, serialized vs shared scan", ServeBench},
+		{"serve-personal", "Extension: personalized-query serving, one-root-per-slot vs fused msbfs + cache", ServePersonal},
 		{"ingest", "Extension: WAL-backed ingest then query, delta-merge overhead", IngestBench},
 		{"codec", "Extension: tile codec comparison, v2 fixed-width vs v3 blocks", CodecBench},
 	}

@@ -87,6 +87,43 @@ func RefPageRank(c *CSR, opt PageRankOptions) []float64 {
 	return rank
 }
 
+// RefPersonalizedPageRank runs synchronous personalized PageRank over
+// out-edge CSR adjacency: the teleport distribution is a point mass at
+// root, and dangling mass restarts at root as well, so ranks stay a
+// probability distribution concentrated around the query vertex.
+func RefPersonalizedPageRank(c *CSR, root VertexID, opt PageRankOptions) []float64 {
+	n := int(c.NumVertices)
+	if n == 0 {
+		return nil
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	rank[root] = 1
+	for it := 0; it < opt.Iterations; it++ {
+		dangling := 0.0
+		for v := 0; v < n; v++ {
+			d := c.Degree(VertexID(v))
+			if d == 0 {
+				dangling += rank[v]
+				continue
+			}
+			share := rank[v] / float64(d)
+			for _, w := range c.Neighbors(VertexID(v)) {
+				next[w] += share
+			}
+		}
+		for v := 0; v < n; v++ {
+			next[v] = opt.Damping * next[v]
+		}
+		next[root] += (1 - opt.Damping) + opt.Damping*dangling
+		rank, next = next, rank
+		for i := range next {
+			next[i] = 0
+		}
+	}
+	return rank
+}
+
 // RefWCC computes weakly connected components with a union-find and
 // returns, for every vertex, the smallest vertex ID in its component —
 // the same fixed point the label-propagation algorithm (Algorithm 2)

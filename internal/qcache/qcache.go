@@ -1,0 +1,209 @@
+// Package qcache is the bounded result cache in front of the
+// personalized-query path: repeated queries for the same (graph, codec
+// digest, algorithm, params, root) are answered from memory instead of
+// re-running a traversal over the tile store.
+//
+// Three properties make it safe to put in front of a mutable graph:
+//
+//   - Generation checking. Every entry records the delta-store
+//     generation (the last applied WAL sequence number) observed when it
+//     was filled. A lookup presents the current generation; a mismatch
+//     means mutations landed since the fill, so the entry is discarded
+//     and recomputed — invalidation is hooked to generation bumps
+//     without the write path knowing the cache exists.
+//   - Single-flight dedup. Identical in-flight queries (same key, same
+//     generation) share one computation: followers block on the
+//     leader's result instead of submitting duplicate runs.
+//   - Bounded memory with TTL. Entries carry a caller-declared byte
+//     cost; inserts evict least-recently-used entries past the byte
+//     budget, and entries older than the TTL are dropped on access.
+package qcache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+)
+
+// Outcome classifies how one Do call was satisfied.
+type Outcome int
+
+const (
+	// Hit: served from a live cache entry, no computation ran.
+	Hit Outcome = iota
+	// Miss: this call ran the computation (and filled the cache).
+	Miss
+	// Join: an identical computation was already in flight; this call
+	// waited for it (single-flight dedup).
+	Join
+	// Bypass: the cache was disabled for this call.
+	Bypass
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	case Join:
+		return "join"
+	default:
+		return "bypass"
+	}
+}
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Joins     int64
+	Expired   int64 // entries dropped by TTL on access
+	Stale     int64 // entries invalidated by a generation mismatch
+	Evictions int64 // entries evicted to stay under the byte budget
+	Entries   int64
+	Bytes     int64
+}
+
+type entry struct {
+	key     string
+	val     interface{}
+	bytes   int64
+	gen     uint64
+	expires time.Time
+	ele     *list.Element
+}
+
+// flight is one in-progress fill; followers wait on done.
+type flight struct {
+	done chan struct{}
+	val  interface{}
+	err  error
+}
+
+// Cache is safe for concurrent use.
+type Cache struct {
+	maxBytes int64
+	ttl      time.Duration
+	now      func() time.Time // injectable for TTL tests
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	flights map[string]*flight // keyed by key@generation
+	lru     *list.List         // front = most recently used
+	bytes   int64
+	stats   Stats
+}
+
+// New returns a cache bounded to maxBytes of declared entry cost with
+// the given per-entry TTL. maxBytes must be positive (callers that want
+// the cache off should not construct one); ttl <= 0 means entries never
+// expire by age.
+func New(maxBytes int64, ttl time.Duration) *Cache {
+	return &Cache{
+		maxBytes: maxBytes,
+		ttl:      ttl,
+		now:      time.Now,
+		entries:  map[string]*entry{},
+		flights:  map[string]*flight{},
+		lru:      list.New(),
+	}
+}
+
+// Do returns the cached value for key at generation gen, or runs fill
+// to produce it. fill returns (value, byte cost, error); errors are
+// returned but never cached. Concurrent Do calls with the same key and
+// generation share one fill. A ctx canceled while waiting on another
+// call's fill returns ctx.Err() (the leader's fill is unaffected).
+func (c *Cache) Do(ctx context.Context, key string, gen uint64, fill func() (interface{}, int64, error)) (interface{}, Outcome, error) {
+	fk := flightKey(key, gen)
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		switch {
+		case e.gen != gen:
+			c.stats.Stale++
+			c.removeLocked(e)
+		case c.ttl > 0 && c.now().After(e.expires):
+			c.stats.Expired++
+			c.removeLocked(e)
+		default:
+			c.stats.Hits++
+			c.lru.MoveToFront(e.ele)
+			val := e.val
+			c.mu.Unlock()
+			return val, Hit, nil
+		}
+	}
+	if f, ok := c.flights[fk]; ok {
+		c.stats.Joins++
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, Join, f.err
+		case <-ctx.Done():
+			return nil, Join, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[fk] = f
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	val, cost, err := fill()
+	f.val, f.err = val, err
+
+	c.mu.Lock()
+	delete(c.flights, fk)
+	if err == nil && cost <= c.maxBytes {
+		if old, ok := c.entries[key]; ok {
+			c.removeLocked(old)
+		}
+		e := &entry{key: key, val: val, bytes: cost, gen: gen, expires: c.now().Add(c.ttl)}
+		e.ele = c.lru.PushFront(e)
+		c.entries[key] = e
+		c.bytes += cost
+		for c.bytes > c.maxBytes {
+			oldest := c.lru.Back()
+			if oldest == nil {
+				break
+			}
+			c.stats.Evictions++
+			c.removeLocked(oldest.Value.(*entry))
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return val, Miss, err
+}
+
+// removeLocked unlinks e from the map, the LRU list, and the byte
+// accounting. Callers hold c.mu.
+func (c *Cache) removeLocked(e *entry) {
+	delete(c.entries, e.key)
+	c.lru.Remove(e.ele)
+	c.bytes -= e.bytes
+}
+
+// Stats returns a snapshot of the counters and current occupancy.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = int64(len(c.entries))
+	st.Bytes = c.bytes
+	return st
+}
+
+func flightKey(key string, gen uint64) string {
+	// Generation is part of the in-flight identity: a query arriving
+	// after a mutation must not join a pre-mutation fill.
+	const hex = "0123456789abcdef"
+	buf := make([]byte, 0, len(key)+17)
+	buf = append(buf, key...)
+	buf = append(buf, '@')
+	for shift := 60; shift >= 0; shift -= 4 {
+		buf = append(buf, hex[(gen>>uint(shift))&0xf])
+	}
+	return string(buf)
+}

@@ -1,0 +1,297 @@
+package qcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fillConst(v interface{}, cost int64) func() (interface{}, int64, error) {
+	return func() (interface{}, int64, error) { return v, cost, nil }
+}
+
+func mustDo(t *testing.T, c *Cache, key string, gen uint64, fill func() (interface{}, int64, error)) (interface{}, Outcome) {
+	t.Helper()
+	v, o, err := c.Do(context.Background(), key, gen, fill)
+	if err != nil {
+		t.Fatalf("Do(%q, gen %d): %v", key, gen, err)
+	}
+	return v, o
+}
+
+func TestHitMiss(t *testing.T) {
+	c := New(1<<20, time.Minute)
+	v, o := mustDo(t, c, "k", 1, fillConst("a", 10))
+	if o != Miss || v != "a" {
+		t.Fatalf("first Do = (%v, %v), want (a, Miss)", v, o)
+	}
+	v, o = mustDo(t, c, "k", 1, fillConst("WRONG", 10))
+	if o != Hit || v != "a" {
+		t.Fatalf("second Do = (%v, %v), want cached (a, Hit)", v, o)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGenerationInvalidates(t *testing.T) {
+	c := New(1<<20, time.Minute)
+	mustDo(t, c, "k", 1, fillConst("old", 10))
+	v, o := mustDo(t, c, "k", 2, fillConst("new", 10))
+	if o != Miss || v != "new" {
+		t.Fatalf("Do at gen 2 = (%v, %v), want recomputed (new, Miss)", v, o)
+	}
+	if st := c.Stats(); st.Stale != 1 {
+		t.Fatalf("Stale = %d, want 1", st.Stale)
+	}
+	// The new entry is pinned to gen 2 now.
+	if _, o := mustDo(t, c, "k", 2, fillConst("WRONG", 10)); o != Hit {
+		t.Fatalf("re-read at gen 2 = %v, want Hit", o)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c := New(1<<20, time.Minute)
+	clock := time.Unix(1000, 0)
+	c.now = func() time.Time { return clock }
+	mustDo(t, c, "k", 1, fillConst("a", 10))
+	clock = clock.Add(59 * time.Second)
+	if _, o := mustDo(t, c, "k", 1, fillConst("b", 10)); o != Hit {
+		t.Fatalf("within TTL = %v, want Hit", o)
+	}
+	clock = clock.Add(2 * time.Second) // 61s past the fill
+	v, o := mustDo(t, c, "k", 1, fillConst("b", 10))
+	if o != Miss || v != "b" {
+		t.Fatalf("past TTL = (%v, %v), want recomputed (b, Miss)", v, o)
+	}
+	if st := c.Stats(); st.Expired != 1 {
+		t.Fatalf("Expired = %d, want 1", st.Expired)
+	}
+}
+
+func TestNoTTLNeverExpires(t *testing.T) {
+	c := New(1<<20, 0)
+	clock := time.Unix(1000, 0)
+	c.now = func() time.Time { return clock }
+	mustDo(t, c, "k", 1, fillConst("a", 10))
+	clock = clock.Add(1000 * time.Hour)
+	if _, o := mustDo(t, c, "k", 1, fillConst("b", 10)); o != Hit {
+		t.Fatalf("ttl=0 lookup = %v, want Hit", o)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(100, time.Minute)
+	for i := 0; i < 4; i++ {
+		mustDo(t, c, fmt.Sprintf("k%d", i), 1, fillConst(i, 30)) // 4*30 > 100
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 3 || st.Bytes != 90 {
+		t.Fatalf("stats = %+v, want 1 eviction leaving 3 entries / 90 bytes", st)
+	}
+	// k0 was least recently used and must be the one gone.
+	if _, o := mustDo(t, c, "k0", 1, fillConst(0, 30)); o != Miss {
+		t.Fatalf("k0 = %v, want Miss (evicted)", o)
+	}
+	// k3 survived.
+	if _, o := mustDo(t, c, "k3", 1, fillConst(3, 30)); o != Hit {
+		t.Fatalf("k3 = %v, want Hit", o)
+	}
+}
+
+func TestLRUOrderFollowsAccess(t *testing.T) {
+	c := New(60, time.Minute)
+	mustDo(t, c, "a", 1, fillConst("a", 30))
+	mustDo(t, c, "b", 1, fillConst("b", 30))
+	mustDo(t, c, "a", 1, fillConst("a", 30)) // touch a: b is now LRU
+	mustDo(t, c, "c", 1, fillConst("c", 30)) // evicts b
+	if _, o := mustDo(t, c, "a", 1, fillConst("a", 30)); o != Hit {
+		t.Fatalf("a = %v, want Hit (recently touched)", o)
+	}
+}
+
+func TestOversizedEntryNotCached(t *testing.T) {
+	c := New(100, time.Minute)
+	mustDo(t, c, "big", 1, fillConst("x", 101))
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversized entry cached: %+v", st)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New(1<<20, time.Minute)
+	boom := errors.New("boom")
+	_, _, err := c.Do(context.Background(), "k", 1, func() (interface{}, int64, error) {
+		return nil, 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, o := mustDo(t, c, "k", 1, fillConst("ok", 10)); o != Miss {
+		t.Fatalf("after error = %v, want Miss (errors must not cache)", o)
+	}
+}
+
+func TestSingleFlight(t *testing.T) {
+	c := New(1<<20, time.Minute)
+	const followers = 8
+	var fills atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderFill := func() (interface{}, int64, error) {
+		close(started)
+		<-release
+		fills.Add(1)
+		return "shared", 10, nil
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if v, o := mustDo(t, c, "k", 1, leaderFill); o != Miss || v != "shared" {
+			t.Errorf("leader = (%v, %v), want (shared, Miss)", v, o)
+		}
+	}()
+	<-started
+
+	joins := make([]Outcome, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, o, err := c.Do(context.Background(), "k", 1, func() (interface{}, int64, error) {
+				fills.Add(1)
+				return "DUPLICATE", 10, nil
+			})
+			if err != nil || v != "shared" {
+				t.Errorf("follower %d = (%v, %v)", i, v, err)
+			}
+			joins[i] = o
+		}(i)
+	}
+	// Let the followers reach the flight before the leader finishes.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := fills.Load(); n != 1 {
+		t.Fatalf("fill ran %d times, want 1 (single-flight)", n)
+	}
+	st := c.Stats()
+	joined := 0
+	for _, o := range joins {
+		if o == Join {
+			joined++
+		}
+	}
+	// Followers that arrived before the leader finished joined; any that
+	// raced in after the insert hit the fresh entry instead. Both are
+	// correct; what matters is zero duplicate fills.
+	if int(st.Joins) != joined {
+		t.Fatalf("stats.Joins = %d, observed %d join outcomes", st.Joins, joined)
+	}
+}
+
+func TestNoJoinAcrossGenerations(t *testing.T) {
+	c := New(1<<20, time.Minute)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mustDo(t, c, "k", 1, func() (interface{}, int64, error) {
+			close(started)
+			<-release
+			return "pre-mutation", 10, nil
+		})
+	}()
+	<-started
+	// A query at generation 2 (post-mutation) must NOT join the gen-1
+	// fill still in flight — it would get a stale answer.
+	var newFill atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, o := mustDo(t, c, "k", 2, func() (interface{}, int64, error) {
+			newFill.Add(1)
+			return "post-mutation", 10, nil
+		})
+		if o != Miss || v != "post-mutation" {
+			t.Errorf("gen-2 query = (%v, %v), want own fill (post-mutation, Miss)", v, o)
+		}
+	}()
+	select {
+	case <-done: // completed without waiting on the gen-1 flight
+	case <-time.After(5 * time.Second):
+		t.Fatal("gen-2 query joined the gen-1 in-flight fill")
+	}
+	close(release)
+	wg.Wait()
+	if newFill.Load() != 1 {
+		t.Fatalf("gen-2 fill ran %d times, want 1", newFill.Load())
+	}
+}
+
+func TestJoinCancel(t *testing.T) {
+	c := New(1<<20, time.Minute)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mustDo(t, c, "k", 1, func() (interface{}, int64, error) {
+			close(started)
+			<-release
+			return "slow", 10, nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	_, o, err := c.Do(ctx, "k", 1, fillConst("x", 10))
+	if o != Join || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled join = (%v, %v), want (Join, context.Canceled)", o, err)
+	}
+	close(release)
+	wg.Wait()
+	// The leader's fill was unaffected.
+	if v, o := mustDo(t, c, "k", 1, fillConst("x", 10)); o != Hit || v != "slow" {
+		t.Fatalf("after canceled join = (%v, %v), want (slow, Hit)", v, o)
+	}
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New(1<<10, time.Minute)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				key := fmt.Sprintf("k%d", j%7)
+				gen := uint64(j % 3)
+				_, _, err := c.Do(context.Background(), key, gen, fillConst(key, 64))
+				if err != nil {
+					t.Errorf("Do: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes > 1<<10 {
+		t.Fatalf("bytes %d over budget", st.Bytes)
+	}
+	if st.Hits+st.Misses+st.Joins != 16*200 {
+		t.Fatalf("outcome counts don't sum: %+v", st)
+	}
+}

@@ -10,8 +10,12 @@
 //	GET  /graphs                      — list loaded graphs
 //	GET  /graphs/{name}               — one graph's metadata
 //	POST /graphs/{name}/bfs           — {"root":0,"async":false}
+//	GET  /graphs/{name}/bfs?root=N    — personalized fast path: result-cached,
+//	                                    coalesced with concurrent roots into one msbfs run
 //	POST /graphs/{name}/msbfs         — {"roots":[0,1,2]}
 //	POST /graphs/{name}/pagerank      — {"iterations":10,"top":10}
+//	GET  /graphs/{name}/ppr?root=N    — personalized PageRank (result-cached);
+//	                                    also POST {"root":0,"iterations":10,"top":10}
 //	POST /graphs/{name}/wcc           — {}
 //	POST /graphs/{name}/scc           — {} (directed graphs only)
 //	POST /graphs/{name}/edges         — {"edges":[{"src":0,"dst":1,"delete":false},…],"flush":false}
@@ -34,6 +38,15 @@
 // a shared tile sweep by a core.Scheduler (up to MaxConcurrentRuns at
 // once, MaxQueuedRuns waiting); when both are full the request is
 // rejected with 429 Too Many Requests.
+//
+// The personalized GET endpoints additionally pass through a bounded
+// result cache (QCacheBytes/QCacheTTL) keyed by graph, meta digest,
+// algorithm, params and delta generation — mutations through /edges
+// bump the generation and implicitly invalidate — with single-flight
+// dedup of identical in-flight queries; the X-Gstore-Cache response
+// header reports hit/miss/join/bypass. An optional ?tenant= label on
+// run-submitting requests enforces a per-tenant concurrent-run quota
+// (TenantMaxRuns), rejected with 429 and a distinct "quota" status.
 package server
 
 import (
@@ -54,6 +67,7 @@ import (
 	"github.com/gwu-systems/gstore/internal/core"
 	"github.com/gwu-systems/gstore/internal/delta"
 	"github.com/gwu-systems/gstore/internal/metrics"
+	"github.com/gwu-systems/gstore/internal/qcache"
 	"github.com/gwu-systems/gstore/internal/tile"
 )
 
@@ -71,6 +85,14 @@ type GraphHandle struct {
 	// applyMu serializes mutation batches per graph: delta.Store.Apply is
 	// safe for one writer at a time (readers never block).
 	applyMu sync.Mutex
+
+	// digest fingerprints the on-disk graph for result cache keys (see
+	// metaDigest).
+	digest string
+	// tenants counts in-flight runs per tenant label when the server
+	// enforces TenantMaxRuns.
+	tenantMu sync.Mutex
+	tenants  map[string]int
 }
 
 // Server routes requests to its graphs.
@@ -80,9 +102,21 @@ type Server struct {
 	// mutations are refused with 403.
 	ReadOnly bool
 
+	// QCacheBytes, when positive before the first AddGraph, enables the
+	// personalized-query result cache with that byte budget (shared
+	// across graphs; keys carry the graph name and meta digest).
+	QCacheBytes int64
+	// QCacheTTL is the result cache entry lifetime (default one minute).
+	QCacheTTL time.Duration
+	// TenantMaxRuns, when positive, caps concurrent algorithm runs per
+	// tenant query label; requests over the cap get 429 with a "quota"
+	// metric status. Zero disables the cap.
+	TenantMaxRuns int
+
 	mu     sync.RWMutex
 	graphs map[string]*GraphHandle
 	reg    *metrics.Registry
+	qc     *qcache.Cache
 }
 
 // New creates an empty server.
@@ -168,7 +202,19 @@ func (s *Server) AddGraph(name, basePath string, opts core.Options) error {
 		g.Close()
 		return fmt.Errorf("server: graph %q already loaded", name)
 	}
-	s.graphs[name] = &GraphHandle{Name: name, Graph: g, engine: eng, sched: core.NewScheduler(eng), delta: ds}
+	if s.qc == nil && s.QCacheBytes > 0 {
+		ttl := s.QCacheTTL
+		if ttl <= 0 {
+			ttl = time.Minute
+		}
+		s.qc = qcache.New(s.QCacheBytes, ttl)
+	}
+	sched := core.NewScheduler(eng)
+	sched.PersonalRunHook = func(st *core.Stats, err error) { s.observePersonalRun(name, st, err) }
+	s.graphs[name] = &GraphHandle{
+		Name: name, Graph: g, engine: eng, sched: sched, delta: ds,
+		digest: metaDigest(g),
+	}
 	// Register the scheduler series now so they are visible at /metrics
 	// from the first scrape, not only after the first (or first
 	// rejected) run.
@@ -176,6 +222,9 @@ func (s *Server) AddGraph(name, basePath string, opts core.Options) error {
 	s.queueWait(name)
 	s.batchOccupancy(name)
 	s.runsRejected(name)
+	s.batchedRoots(name)
+	s.coalescedRuns(name)
+	s.publishQCache()
 	return nil
 }
 
@@ -267,7 +316,7 @@ func (s *Server) Handler() http.Handler {
 // to keep metric cardinality bounded.
 var ops = map[string]bool{
 	"bfs": true, "khop": true, "msbfs": true,
-	"pagerank": true, "wcc": true, "scc": true,
+	"pagerank": true, "ppr": true, "wcc": true, "scc": true,
 	"edges": true,
 }
 
@@ -437,9 +486,26 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, info(h))
 		return
 	}
+	if r.Method == http.MethodGet && (op == "bfs" || op == "ppr") {
+		// The personalized fast path: cached, single-flight deduped, and
+		// (for BFS) coalesced with concurrent roots into one msbfs run.
+		s.handlePersonal(w, r, h, op)
+		return
+	}
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
+	}
+	if op != "edges" && op != "ppr" {
+		// Per-tenant admission quota for the run-submitting POST ops; the
+		// personalized paths (GET bfs/ppr, POST ppr) apply it inside the
+		// cache fill instead, so cache hits stay quota-free.
+		release, err := s.acquireTenant(h, op, r.URL.Query().Get("tenant"))
+		if err != nil {
+			writeRunError(w, err)
+			return
+		}
+		defer release()
 	}
 	switch op {
 	case "edges":
@@ -452,6 +518,8 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 		s.handleMSBFS(w, r, h)
 	case "pagerank":
 		s.handlePageRank(w, r, h)
+	case "ppr":
+		s.handlePPRPost(w, r, h)
 	case "wcc":
 		s.handleComponents(w, r, h, false)
 	case "scc":
@@ -489,28 +557,11 @@ func (s *Server) run(ctx context.Context, h *GraphHandle, a algo.Algorithm) (*co
 	st, err := h.sched.Run(ctx, a)
 	s.queueDepth(h.Name).Set(int64(h.sched.QueueDepth()))
 
-	status := "ok"
-	switch {
-	case err == nil:
-	case errors.Is(err, core.ErrQueueFull):
-		status = "rejected"
+	status := classifyRunStatus(err)
+	if status == "rejected" {
 		s.runsRejected(h.Name).Inc()
-	case errors.Is(err, core.ErrSchedulerClosed):
-		status = "shutdown"
-	case errors.As(err, new(*core.BadRequestError)):
-		status = "bad_request"
-	case errors.As(err, new(*core.IntegrityError)):
-		status = "integrity"
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		status = "canceled"
-	default:
-		status = "error"
 	}
-	s.reg.Counter("gstore_engine_runs_total",
-		"Engine runs by graph, algorithm and outcome.",
-		metrics.L("graph", h.Name),
-		metrics.L("algo", a.Name()),
-		metrics.L("status", status)).Inc()
+	s.engineRuns(h.Name, a.Name(), status).Inc()
 	if st != nil {
 		// Queue wait is observed for every run that has stats — including
 		// ones canceled or rejected while still queued, which would
@@ -526,6 +577,27 @@ func (s *Server) run(ctx context.Context, h *GraphHandle, a algo.Algorithm) (*co
 	return st, err
 }
 
+// classifyRunStatus maps a Run error onto the bounded status label set
+// of gstore_engine_runs_total.
+func classifyRunStatus(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, core.ErrQueueFull):
+		return "rejected"
+	case errors.Is(err, core.ErrSchedulerClosed):
+		return "shutdown"
+	case errors.As(err, new(*core.BadRequestError)):
+		return "bad_request"
+	case errors.As(err, new(*core.IntegrityError)):
+		return "integrity"
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	default:
+		return "error"
+	}
+}
+
 // writeRunError maps a Run error onto the right status class: request
 // errors are the client's fault (400), admission overflow is
 // backpressure the client should retry later (429), a scheduler closed
@@ -538,6 +610,8 @@ func writeRunError(w http.ResponseWriter, err error) {
 	case errors.As(err, new(*core.BadRequestError)):
 		writeError(w, http.StatusBadRequest, "%v", err)
 	case errors.Is(err, core.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, errTenantQuota):
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 	case errors.Is(err, core.ErrSchedulerClosed):
 		writeError(w, http.StatusServiceUnavailable, "server shutting down: %v", err)

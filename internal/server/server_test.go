@@ -218,13 +218,24 @@ func TestComponentEndpoints(t *testing.T) {
 
 func TestMethodChecks(t *testing.T) {
 	_, ts := testServer(t)
+	// GET bfs is the personalized fast path now; without its required
+	// root parameter it is a bad request, not a method error.
 	resp, err := http.Get(ts.URL + "/graphs/kron/bfs")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("GET on bfs: status %d", resp.StatusCode)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET on bfs without root: status %d", resp.StatusCode)
+	}
+	// Ops with no GET form still reject the method.
+	respPR, err := http.Get(ts.URL + "/graphs/kron/pagerank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	respPR.Body.Close()
+	if respPR.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET on pagerank: status %d", respPR.StatusCode)
 	}
 	resp2, _ := post(t, ts.URL+"/graphs/kron/nonsense", nil)
 	if resp2.StatusCode != http.StatusNotFound {

@@ -9,6 +9,7 @@
 //	gsbench -run fig9,fig10 -quick
 //	gsbench -clients 8 -duration 10s [-benchout BENCH.json]
 //	gsbench -clients 8 -target http://localhost:8080
+//	gsbench -run chaos [-seed N] [-benchout CHAOS.json]
 //
 // The -clients mode is the closed-loop serving benchmark: N concurrent
 // clients fire mixed BFS/PageRank queries at one graph for -duration and
@@ -19,6 +20,12 @@
 // The serve-personal experiment benchmarks the personalized-query path:
 // a Zipf mix of single-root BFS queries served one-root-per-slot vs
 // fused into multi-source runs (-batch-window) with the result cache on.
+//
+// The chaos experiment is a correctness harness, not a benchmark: seeded
+// schedules of ingest, flushes, injected write faults, and simulated
+// crashes, each followed by a restart whose recovered state must match a
+// fresh conversion of the reference edge set (DESIGN.md §15). Any
+// invariant violation makes the run fail.
 package main
 
 import (

@@ -6,7 +6,10 @@
 //
 //	gstored -listen :8080 -graph social=data/twitter -graph web=data/crawl
 //
-// Endpoints: GET /healthz, GET /metrics (Prometheus text), GET /graphs,
+// Endpoints: GET /healthz (liveness), GET /readyz (readiness: 503 with
+// status no_graphs|wal_failed|shutting_down until graphs are open, write
+// paths healthy, and schedulers accepting — load balancers should drain
+// on this, not /healthz), GET /metrics (Prometheus text), GET /graphs,
 // GET /graphs/{name}, POST /graphs/{name}/{bfs|msbfs|pagerank|ppr|wcc|scc},
 // GET /graphs/{name}/{bfs|ppr}?root=N (the personalized fast path:
 // result-cached per -qcache-bytes/-qcache-ttl, and concurrent BFS roots
@@ -14,6 +17,12 @@
 // POST /graphs/{name}/edges (batch edge mutations through the WAL-backed
 // write path; disabled by -readonly), and (unless -pprof=false) the
 // net/http/pprof profiling handlers under /debug/pprof/.
+//
+// A failed WAL fsync degrades that graph to read-only rather than
+// risking a lost ack: /edges answers 503 status="wal_failed" (sticky),
+// the gstore_wal_failed gauge rises, /readyz fails — and queries keep
+// serving. Handler panics are contained per request (500
+// status="panic", counted in gstore_http_panics_total, stack logged).
 //
 // Unless -readonly is set, opening each graph recovers its write path:
 // the newest delta snapshot is loaded and any WAL records a previous

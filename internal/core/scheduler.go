@@ -95,6 +95,15 @@ func (s *Scheduler) QueueDepth() int {
 	return len(s.queue)
 }
 
+// Accepting reports whether the scheduler still admits new runs (false
+// once Close has begun). Readiness probes use it to drain traffic ahead
+// of shutdown.
+func (s *Scheduler) Accepting() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed
+}
+
 // Run executes a through the shared sweep and blocks until it finishes.
 // Semantics match Engine.Run: *BadRequestError for Init failures, an
 // error wrapping ctx.Err() on cancellation (whether canceled in the

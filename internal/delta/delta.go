@@ -17,11 +17,14 @@ package delta
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/gwu-systems/gstore/internal/faultfs"
+	"github.com/gwu-systems/gstore/internal/fsutil"
 	"github.com/gwu-systems/gstore/internal/tile"
 	"github.com/gwu-systems/gstore/internal/wal"
 )
@@ -272,6 +275,9 @@ type Options struct {
 	FlushEveryOps int64
 	// OnFsync observes WAL fsync durations (metrics hook).
 	OnFsync func(d time.Duration)
+	// FS routes all file operations of the store, its WAL, and its
+	// snapshots; nil selects the real filesystem.
+	FS faultfs.FS
 }
 
 // Stats is a point-in-time summary of a Store.
@@ -295,6 +301,7 @@ type Store struct {
 	g    *tile.Graph
 	base string
 	opts Options
+	fs   faultfs.FS
 
 	mu          sync.Mutex // serializes Apply/Flush/Close
 	w           *wal.W     // lazily created on first Apply
@@ -316,8 +323,13 @@ type Store struct {
 // a crash is visible again. A graph with no snapshot and no WAL opens
 // with an empty view and touches nothing on disk until the first Apply.
 func Open(g *tile.Graph, base string, opts Options) (*Store, error) {
-	s := &Store{g: g, base: base, opts: opts}
-	v, gen, err := loadNewestSnapshot(base, g)
+	s := &Store{g: g, base: base, opts: opts, fs: faultfs.Default(opts.FS)}
+	// A crash mid-flush can strand a half-staged snapshot (*.tmp*); sweep
+	// this graph's litter before loading state so it cannot accumulate.
+	if _, err := fsutil.RemoveTemps(s.fs, filepath.Dir(base), filepath.Base(base)+"."); err != nil {
+		return nil, fmt.Errorf("delta: removing stale temp files for %s: %w", base, err)
+	}
+	v, gen, err := loadNewestSnapshot(s.fs, base, g)
 	if err != nil {
 		return nil, err
 	}
@@ -328,7 +340,7 @@ func Open(g *tile.Graph, base string, opts Options) (*Store, error) {
 	s.seq = v.upto
 
 	// Crash recovery: reapply WAL records past the snapshot horizon.
-	st, err := wal.Replay(walDir(base), func(payload []byte) error {
+	st, err := wal.ReplayFS(s.fs, walDir(base), func(payload []byte) error {
 		seq, ops, err := decodeRecord(payload)
 		if err != nil {
 			return err
@@ -357,6 +369,19 @@ func Open(g *tile.Graph, base string, opts Options) (*Store, error) {
 
 // View returns the current immutable view (never nil).
 func (s *Store) View() *View { return s.view.Load() }
+
+// Failed returns the sticky write-path failure poisoning this store's
+// WAL, or nil while it is healthy. A failed store rejects every Apply
+// (errors.Is(err, wal.ErrFailed)) but keeps serving reads; the owner
+// should surface the degradation (read-only mode) rather than retry.
+func (s *Store) Failed() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return nil
+	}
+	return s.w.Failed()
+}
 
 // Stats summarizes the store.
 func (s *Store) Stats() Stats {
@@ -408,6 +433,7 @@ func (s *Store) Apply(ops []Op) (changed int, err error) {
 		w, err := wal.Open(walDir(s.base), wal.Options{
 			SegmentBytes: s.opts.WALSegmentBytes,
 			OnFsync:      s.opts.OnFsync,
+			FS:           s.opts.FS,
 		})
 		if err != nil {
 			return 0, err
@@ -605,7 +631,10 @@ func (s *Store) flushLocked() error {
 	if v.Empty() && s.w == nil {
 		return nil
 	}
-	if err := writeSnapshot(s.base, s.gen+1, v); err != nil {
+	if err := writeSnapshot(s.fs, s.base, s.gen+1, v); err != nil {
+		return err
+	}
+	if err := s.fs.CrashPoint("delta.flush.after-snapshot"); err != nil {
 		return err
 	}
 	s.gen++
@@ -616,29 +645,37 @@ func (s *Store) flushLocked() error {
 		if err != nil {
 			return err
 		}
+		if err := s.fs.CrashPoint("delta.flush.after-rotate"); err != nil {
+			return err
+		}
 		if err := s.w.TruncateBefore(newSeg); err != nil {
 			return err
 		}
+		if err := s.fs.CrashPoint("delta.flush.after-truncate"); err != nil {
+			return err
+		}
 	}
-	return removeSnapshotsBelow(s.base, s.gen)
+	return removeSnapshotsBelow(s.fs, s.base, s.gen)
 }
 
 // Close flushes (making WAL replay on next open a no-op) and releases
-// the WAL.
+// the WAL. The WAL is released even when the flush fails — a poisoned
+// or crashing store must not leak its segment descriptor — and the
+// flush error wins.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil
 	}
-	if err := s.flushLocked(); err != nil {
-		return err
-	}
 	s.closed = true
+	ferr := s.flushLocked()
 	if s.w != nil {
-		err := s.w.Close()
+		cerr := s.w.Close()
 		s.w = nil
-		return err
+		if ferr == nil {
+			ferr = cerr
+		}
 	}
-	return nil
+	return ferr
 }

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"github.com/gwu-systems/gstore/internal/faultfs"
 	"github.com/gwu-systems/gstore/internal/graph"
 	"github.com/gwu-systems/gstore/internal/tile"
 )
@@ -217,7 +218,7 @@ func TestFlushSnapshotRotatesAndTruncates(t *testing.T) {
 	if err := s.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	gens, err := listSnapshots(base)
+	gens, err := listSnapshots(faultfs.OS, base)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,212 @@
+package delta
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/gwu-systems/gstore/internal/faultfs"
+	"github.com/gwu-systems/gstore/internal/tile"
+	"github.com/gwu-systems/gstore/internal/wal"
+)
+
+// faultScript is the mutation script shared by the fault-injection
+// tests: same shape as the crash-matrix script (inserts, deletes, a
+// delete-then-reinsert) so the recovery oracle covers all op kinds.
+var faultScript = []Op{
+	{Src: 9, Dst: 2},
+	{Del: true, Src: 7, Dst: 8},
+	{Src: 11, Dst: 11},
+	{Del: true, Src: 0, Dst: 1},
+	{Src: 0, Dst: 1},
+	{Src: 8, Dst: 3},
+	{Del: true, Src: 6, Dst: 6},
+	{Src: 10, Dst: 0},
+	{Del: true, Src: 2, Dst: 3},
+	{Src: 5, Dst: 7},
+}
+
+// expectedAfter returns the stored-tuple multiset once the first acked
+// mutations of faultScript are applied over the base graph.
+func expectedAfter(t *testing.T, acked int) map[uint64]int {
+	t.Helper()
+	want := storedSet(undirected(t), true)
+	for _, op := range faultScript[:acked] {
+		a, b := op.Src, op.Dst
+		if a > b {
+			a, b = b, a
+		}
+		if op.Del {
+			want[key(a, b)] = 0
+		} else {
+			want[key(a, b)] = 1
+		}
+	}
+	return want
+}
+
+// assertNoTempLitter fails if the graph directory holds any in-flight
+// temp file for this graph after recovery.
+func assertNoTempLitter(t *testing.T, base, label string) {
+	t.Helper()
+	dir := filepath.Dir(base)
+	prefix := filepath.Base(base) + "."
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), prefix) && strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("%s: temp litter %q after recovery", label, e.Name())
+		}
+	}
+}
+
+// recoverAndVerify reopens the graph from disk through the real
+// filesystem after a simulated crash and proves the invariant: fsck
+// clean, acked mutations present exactly, no temp litter, and the store
+// accepts new writes.
+func recoverAndVerify(t *testing.T, base string, acked int, label string) {
+	t.Helper()
+	if findings, _ := Fsck(base); len(findings) != 0 {
+		t.Fatalf("%s: fsck on crashed state: %v", label, findings)
+	}
+	g2, err := tile.Open(base)
+	if err != nil {
+		t.Fatalf("%s: reopen base: %v", label, err)
+	}
+	defer g2.Close()
+	s2, err := Open(g2, base, Options{})
+	if err != nil {
+		t.Fatalf("%s: recovery open: %v", label, err)
+	}
+	defer s2.Close()
+	assertNoTempLitter(t, base, label)
+	sameEdges(t, effectiveEdges(t, g2, s2.View()), expectedAfter(t, acked))
+	if _, err := s2.Apply([]Op{{Src: 4, Dst: 8}}); err != nil {
+		t.Fatalf("%s: write after recovery: %v", label, err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatalf("%s: close after recovery: %v", label, err)
+	}
+	if findings, notes := Fsck(base); len(findings) != 0 {
+		t.Fatalf("%s: fsck after recovery: %v (notes %v)", label, findings, notes)
+	}
+}
+
+// TestNamedCrashPointRecovery kills the writer at every named crash
+// point of the write path — mid-append, around the atomic snapshot
+// commit, and between the flush's snapshot/rotate/truncate steps — via
+// FaultFS crash simulation (open files torn back to their synced
+// prefix), then proves recovery from the torn on-disk state.
+func TestNamedCrashPointRecovery(t *testing.T) {
+	points := []struct {
+		name      string
+		flushOnly bool // fires during Flush, not Apply
+	}{
+		{"wal.append.after-write", false},
+		{"fsutil.commit.after-sync", true},
+		{"fsutil.commit.after-rename", true},
+		{"delta.flush.after-snapshot", true},
+		{"delta.flush.after-rotate", true},
+		{"delta.flush.after-truncate", true},
+	}
+	for pi, pt := range points {
+		t.Run(pt.name, func(t *testing.T) {
+			el := undirected(t)
+			g, base := convert(t, el, "fault")
+			fs := faultfs.New(int64(31 + pi))
+			s, err := Open(g, base, Options{FS: fs})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// A healthy prefix before the fault arms, so recovery has to
+			// distinguish acked history from the crashed suffix.
+			const healthy = 4
+			acked := 0
+			for _, op := range faultScript[:healthy] {
+				if _, err := s.Apply([]Op{op}); err != nil {
+					t.Fatalf("healthy apply %d: %v", acked, err)
+				}
+				acked++
+			}
+			fs.Arm(faultfs.Rule{Op: faultfs.OpCrashPoint, PathContains: pt.name, Crash: true})
+
+			crashed := false
+			for _, op := range faultScript[healthy:] {
+				if _, err := s.Apply([]Op{op}); err != nil {
+					crashed = true
+					break
+				}
+				acked++
+			}
+			if !crashed {
+				if !pt.flushOnly {
+					t.Fatalf("crash point %s never fired during applies", pt.name)
+				}
+				if err := s.Flush(); err == nil {
+					t.Fatalf("crash point %s never fired during flush", pt.name)
+				}
+				crashed = true
+			}
+			if !fs.Crashed() {
+				t.Fatalf("apply/flush errored without the simulated crash firing")
+			}
+			// The "process" is dead: the store is abandoned, not closed.
+			g.Close()
+
+			// Flush-path crashes happen after every mutation was acked; an
+			// append-path crash loses exactly the in-flight op.
+			recoverAndVerify(t, base, acked, pt.name)
+		})
+	}
+}
+
+// TestFsyncFailureMatrix injects a WAL fsync failure at every append
+// index of the script and proves, for each: the failing Apply and all
+// later ones error with wal.ErrFailed (sticky — degraded, never a
+// silent retry), and recovery surfaces exactly the acked prefix.
+func TestFsyncFailureMatrix(t *testing.T) {
+	for k := 1; k <= len(faultScript); k++ {
+		t.Run(fmt.Sprintf("fsync-%02d", k), func(t *testing.T) {
+			el := undirected(t)
+			g, base := convert(t, el, "fault")
+			fs := faultfs.New(int64(100 + k))
+			fs.Arm(faultfs.Rule{Op: faultfs.OpSync, PathContains: ".wal", AfterN: k})
+			s, err := Open(g, base, Options{FS: fs})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			acked := 0
+			var ferr error
+			for _, op := range faultScript {
+				if _, err := s.Apply([]Op{op}); err != nil {
+					ferr = err
+					break
+				}
+				acked++
+			}
+			if acked != k-1 {
+				t.Fatalf("acked %d ops before the injected fsync failure, want %d", acked, k-1)
+			}
+			if !errors.Is(ferr, wal.ErrFailed) {
+				t.Fatalf("apply under failed fsync = %v, want wrapped wal.ErrFailed", ferr)
+			}
+			// Sticky: the store is poisoned, further writes refuse up front.
+			if s.Failed() == nil {
+				t.Fatal("store must report failed after fsync failure")
+			}
+			if _, err := s.Apply([]Op{{Src: 1, Dst: 2}}); !errors.Is(err, wal.ErrFailed) {
+				t.Fatalf("apply on poisoned store = %v, want ErrFailed", err)
+			}
+			g.Close()
+
+			recoverAndVerify(t, base, acked, fmt.Sprintf("fsync-%02d", k))
+		})
+	}
+}

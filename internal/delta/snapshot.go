@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"github.com/gwu-systems/gstore/internal/faultfs"
 	"github.com/gwu-systems/gstore/internal/fsutil"
 	"github.com/gwu-systems/gstore/internal/tile"
 	"github.com/gwu-systems/gstore/internal/wal"
@@ -42,12 +43,12 @@ func snapshotPath(base string, gen int) string {
 
 // listSnapshots returns the snapshot generations present for base,
 // ascending.
-func listSnapshots(base string) ([]int, error) {
+func listSnapshots(fsys faultfs.FS, base string) ([]int, error) {
 	dir, name := filepath.Split(base)
 	if dir == "" {
 		dir = "."
 	}
-	ents, err := os.ReadDir(dir)
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -113,16 +114,16 @@ func encodeSnapshot(v *View) []byte {
 }
 
 // writeSnapshot durably writes generation gen of view v.
-func writeSnapshot(base string, gen int, v *View) error {
+func writeSnapshot(fsys faultfs.FS, base string, gen int, v *View) error {
 	payload := encodeSnapshot(v)
 	var tr [4]byte
 	binary.LittleEndian.PutUint32(tr[:], tile.Checksum(payload))
-	return fsutil.WriteFile(snapshotPath(base, gen), append(payload, tr[:]...), 0o644)
+	return fsutil.WriteFileFS(fsys, snapshotPath(base, gen), append(payload, tr[:]...), 0o644)
 }
 
 // removeSnapshotsBelow deletes generations older than keep.
-func removeSnapshotsBelow(base string, keep int) error {
-	gens, err := listSnapshots(base)
+func removeSnapshotsBelow(fsys faultfs.FS, base string, keep int) error {
+	gens, err := listSnapshots(fsys, base)
 	if err != nil {
 		return err
 	}
@@ -131,14 +132,14 @@ func removeSnapshotsBelow(base string, keep int) error {
 		if g >= keep {
 			continue
 		}
-		if err := os.Remove(snapshotPath(base, g)); err != nil {
+		if err := fsys.Remove(snapshotPath(base, g)); err != nil {
 			return err
 		}
 		removed = true
 	}
 	if removed {
 		dir := filepath.Dir(base)
-		return fsutil.SyncDir(dir)
+		return fsutil.SyncDirFS(fsys, dir)
 	}
 	return nil
 }
@@ -255,8 +256,8 @@ func parseSnapshot(data []byte, g *tile.Graph) (*View, error) {
 // corrupt newest snapshot is an error — snapshots are written
 // atomically, so damage means disk corruption, not a crash, and
 // silently falling back would resurrect deleted edges.
-func loadNewestSnapshot(base string, g *tile.Graph) (*View, int, error) {
-	gens, err := listSnapshots(base)
+func loadNewestSnapshot(fsys faultfs.FS, base string, g *tile.Graph) (*View, int, error) {
+	gens, err := listSnapshots(fsys, base)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -264,7 +265,7 @@ func loadNewestSnapshot(base string, g *tile.Graph) (*View, int, error) {
 		return nil, 0, nil
 	}
 	gen := gens[len(gens)-1]
-	data, err := os.ReadFile(snapshotPath(base, gen))
+	data, err := fsys.ReadFile(snapshotPath(base, gen))
 	if err != nil {
 		return nil, gen, err
 	}
@@ -344,7 +345,7 @@ func Fsck(base string) (findings []tile.FsckFinding, notes []string) {
 		notes = append(notes, fmt.Sprintf("wal: %d segments, %d records", stats.Segments, stats.Records))
 	}
 
-	gens, err := listSnapshots(base)
+	gens, err := listSnapshots(faultfs.OS, base)
 	if err != nil {
 		findings = append(findings, tile.FsckFinding{Section: "delta", Tile: -1, Detail: err.Error()})
 		return findings, notes

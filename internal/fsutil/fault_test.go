@@ -1,0 +1,153 @@
+package fsutil
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/gwu-systems/gstore/internal/faultfs"
+)
+
+// WriteFileFS error paths must remove the temp file and leave the target
+// untouched, whatever step fails.
+func TestWriteFileAtomicFaultTable(t *testing.T) {
+	cases := []struct {
+		name string
+		rule faultfs.Rule
+	}{
+		{"create-fails", faultfs.Rule{Op: faultfs.OpCreate, PathContains: ".tmp"}},
+		{"write-fails", faultfs.Rule{Op: faultfs.OpWrite}},
+		{"short-write", faultfs.Rule{Op: faultfs.OpWrite, ShortBytes: 2}},
+		{"fsync-fails", faultfs.Rule{Op: faultfs.OpSync}},
+		{"rename-fails", faultfs.Rule{Op: faultfs.OpRename}},
+		{"dir-sync-fails", faultfs.Rule{Op: faultfs.OpSyncDir}},
+		{"enospc", faultfs.Rule{}}, // budget-driven, armed below
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			target := filepath.Join(dir, "section.dat")
+			if err := os.WriteFile(target, []byte("old-contents"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			fs := faultfs.New(5)
+			if tc.name == "enospc" {
+				fs.SetWriteBudget(3)
+			} else {
+				fs.Arm(tc.rule)
+			}
+			err := WriteFileFS(fs, target, []byte("new-contents"), 0o644)
+			if tc.name == "dir-sync-fails" {
+				// The rename already happened; the data is in place but its
+				// durability is not guaranteed. The error must still surface.
+				if err == nil {
+					t.Fatal("want error from failed dir sync")
+				}
+			} else {
+				if err == nil {
+					t.Fatal("want error")
+				}
+				data, rerr := os.ReadFile(target)
+				if rerr != nil || string(data) != "old-contents" {
+					t.Fatalf("target after failed write = %q, %v; want old contents intact", data, rerr)
+				}
+			}
+			for _, n := range listDir(t, dir) {
+				if strings.Contains(n, ".tmp") {
+					t.Fatalf("temp litter %q left after %s", n, tc.name)
+				}
+			}
+		})
+	}
+}
+
+// The happy path over a FaultFS with no rules behaves like the OS path.
+func TestWriteFileFSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "a")
+	fs := faultfs.New(1)
+	if err := WriteFileFS(fs, target, []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(target)
+	if err != nil || string(data) != "x" {
+		t.Fatalf("read back = %q, %v", data, err)
+	}
+	st, _ := os.Stat(target)
+	if st.Mode().Perm() != 0o600 {
+		t.Fatalf("perm = %v, want 0600", st.Mode().Perm())
+	}
+}
+
+// A simulated crash mid-commit may strand a temp file (the process died;
+// no error path ran). RemoveTemps must clean it up, honoring the prefix.
+func TestRemoveTempsAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "g.delta.00000001")
+	fs := faultfs.New(9)
+	fs.Arm(faultfs.Rule{Op: faultfs.OpCrashPoint, PathContains: "fsutil.commit.after-sync", Crash: true})
+	err := WriteFileFS(fs, target, []byte("snapshot"), 0o644)
+	if !errors.Is(err, faultfs.ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	// Unrelated litter that must survive a prefixed sweep.
+	other := filepath.Join(dir, "other.tiles.tmp123")
+	if err := os.WriteFile(other, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	litter := 0
+	for _, n := range listDir(t, dir) {
+		if strings.HasPrefix(n, "g.delta.") && strings.Contains(n, ".tmp") {
+			litter++
+		}
+	}
+	if litter == 0 {
+		t.Fatal("crash left no temp file; the scenario did not exercise cleanup")
+	}
+	removed, err := RemoveTemps(nil, dir, "g.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != litter {
+		t.Fatalf("RemoveTemps removed %v, want %d files", removed, litter)
+	}
+	for _, n := range listDir(t, dir) {
+		if strings.HasPrefix(n, "g.") && strings.Contains(n, ".tmp") {
+			t.Fatalf("litter %q survived RemoveTemps", n)
+		}
+	}
+	if _, err := os.Stat(other); err != nil {
+		t.Fatalf("prefixed sweep ate unrelated file: %v", err)
+	}
+	if _, err := os.Stat(target); !os.IsNotExist(err) {
+		t.Fatalf("target must not exist after crash before rename, stat err=%v", err)
+	}
+}
+
+// Abort after a failed Commit must stay a no-op, and Commit twice is an
+// error (the staging file is gone).
+func TestCommitAbortDiscipline(t *testing.T) {
+	dir := t.TempDir()
+	fs := faultfs.New(2)
+	fs.Arm(faultfs.Rule{Op: faultfs.OpSync})
+	af, err := CreateFS(fs, filepath.Join(dir, "t"), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := af.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := af.Commit(); err == nil {
+		t.Fatal("want commit failure from injected fsync error")
+	}
+	af.Abort() // must be a safe no-op
+	if err := af.Commit(); err == nil {
+		t.Fatal("second commit must fail")
+	}
+	if names := listDir(t, dir); len(names) != 0 {
+		t.Fatalf("litter after failed commit: %v", names)
+	}
+}

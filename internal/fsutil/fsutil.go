@@ -5,20 +5,36 @@
 // new file, or no file — never a torn mix. The tile converter writes every
 // graph section through this package so an interrupted conversion leaves
 // no partially-written output behind under the final name.
+//
+// Every function has an FS-suffixed variant taking a faultfs.FS so tests
+// and the chaos harness can inject write errors, failed fsyncs, ENOSPC,
+// and simulated crashes; the plain names use the real filesystem.
 package fsutil
 
 import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+
+	"github.com/gwu-systems/gstore/internal/faultfs"
 )
+
+// tmpInfix appears in every staging file name (between the target's base
+// name and the random suffix); RemoveTemps matches on it.
+const tmpInfix = ".tmp"
 
 // WriteFile atomically replaces path with data: the bytes are written to
 // a temporary file next to path, synced to stable storage, renamed into
 // place, and the parent directory is synced. On error the temporary file
 // is removed and the previous content of path (if any) is untouched.
 func WriteFile(path string, data []byte, perm os.FileMode) error {
-	af, err := Create(path, perm)
+	return WriteFileFS(nil, path, data, perm)
+}
+
+// WriteFileFS is WriteFile over fsys (nil selects the real filesystem).
+func WriteFileFS(fsys faultfs.FS, path string, data []byte, perm os.FileMode) error {
+	af, err := CreateFS(fsys, path, perm)
 	if err != nil {
 		return err
 	}
@@ -34,7 +50,8 @@ func WriteFile(path string, data []byte, perm os.FileMode) error {
 // them. Exactly one of the two must be called (Abort after Commit is a
 // no-op, so `defer af.Abort()` is a safe cleanup pattern).
 type AtomicFile struct {
-	f    *os.File
+	fs   faultfs.FS
+	f    faultfs.File
 	path string
 	done bool
 }
@@ -42,16 +59,23 @@ type AtomicFile struct {
 // Create opens an atomic writer targeting path. The temporary file lives
 // in path's directory so the final rename never crosses filesystems.
 func Create(path string, perm os.FileMode) (*AtomicFile, error) {
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	return CreateFS(nil, path, perm)
+}
+
+// CreateFS is Create over fsys (nil selects the real filesystem).
+func CreateFS(fsys faultfs.FS, path string, perm os.FileMode) (*AtomicFile, error) {
+	fsys = faultfs.Default(fsys)
+	f, err := fsys.CreateTemp(filepath.Dir(path), filepath.Base(path)+tmpInfix+"*")
 	if err != nil {
 		return nil, err
 	}
 	if err := f.Chmod(perm); err != nil {
+		name := f.Name()
 		f.Close()
-		os.Remove(f.Name())
+		fsys.Remove(name)
 		return nil, err
 	}
-	return &AtomicFile{f: f, path: path}, nil
+	return &AtomicFile{fs: fsys, f: f, path: path}, nil
 }
 
 // Write appends to the staged file.
@@ -59,11 +83,14 @@ func (a *AtomicFile) Write(p []byte) (int, error) { return a.f.Write(p) }
 
 // File exposes the staging file for callers that need buffered or
 // positioned writes; it must not be closed directly.
-func (a *AtomicFile) File() *os.File { return a.f }
+func (a *AtomicFile) File() faultfs.File { return a.f }
 
 // Commit syncs the staged bytes, renames them over the target path, and
 // syncs the directory. On any failure the staging file is removed and the
-// target is left as it was.
+// target is left as it was: a reader never observes a torn file, and no
+// *.tmp* litter survives an error return (a simulated-crash error is the
+// one exception — the "process" is dead, and recovery-time RemoveTemps
+// owns the cleanup).
 func (a *AtomicFile) Commit() error {
 	if a.done {
 		return fmt.Errorf("fsutil: commit on finished atomic write to %s", a.path)
@@ -72,18 +99,25 @@ func (a *AtomicFile) Commit() error {
 	tmp := a.f.Name()
 	if err := a.f.Sync(); err != nil {
 		a.f.Close()
-		os.Remove(tmp)
+		a.fs.Remove(tmp)
 		return fmt.Errorf("fsutil: sync %s: %w", tmp, err)
 	}
 	if err := a.f.Close(); err != nil {
-		os.Remove(tmp)
+		a.fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, a.path); err != nil {
-		os.Remove(tmp)
+	if err := a.fs.CrashPoint("fsutil.commit.after-sync"); err != nil {
+		a.fs.Remove(tmp)
 		return err
 	}
-	return SyncDir(filepath.Dir(a.path))
+	if err := a.fs.Rename(tmp, a.path); err != nil {
+		a.fs.Remove(tmp)
+		return err
+	}
+	if err := a.fs.CrashPoint("fsutil.commit.after-rename"); err != nil {
+		return err
+	}
+	return SyncDirFS(a.fs, filepath.Dir(a.path))
 }
 
 // Abort discards the staged bytes. Safe to call after Commit.
@@ -93,20 +127,45 @@ func (a *AtomicFile) Abort() {
 	}
 	a.done = true
 	a.f.Close()
-	os.Remove(a.f.Name())
+	a.fs.Remove(a.f.Name())
 }
 
 // SyncDir fsyncs a directory, making previously completed renames and
 // creations within it durable.
-func SyncDir(dir string) error {
-	d, err := os.Open(dir)
+func SyncDir(dir string) error { return SyncDirFS(nil, dir) }
+
+// SyncDirFS is SyncDir over fsys (nil selects the real filesystem).
+func SyncDirFS(fsys faultfs.FS, dir string) error {
+	return faultfs.Default(fsys).SyncDir(dir)
+}
+
+// RemoveTemps deletes staging files (*.tmp*) stranded in dir by a crash
+// mid-Commit. Recovery paths call it before reopening state so litter
+// from interrupted atomic writes cannot accumulate. A non-empty prefix
+// restricts removal to files whose name begins with it (one graph's
+// recovery must not eat a neighbor's in-flight conversion). It returns
+// the names removed.
+func RemoveTemps(fsys faultfs.FS, dir, prefix string) ([]string, error) {
+	fsys = faultfs.Default(fsys)
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
-		return err
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
 	}
-	serr := d.Sync()
-	cerr := d.Close()
-	if serr != nil {
-		return fmt.Errorf("fsutil: sync dir %s: %w", dir, serr)
+	var removed []string
+	for _, e := range ents {
+		if e.IsDir() || !strings.Contains(e.Name(), tmpInfix) {
+			continue
+		}
+		if prefix != "" && !strings.HasPrefix(e.Name(), prefix) {
+			continue
+		}
+		if err := fsys.Remove(filepath.Join(dir, e.Name())); err != nil {
+			return removed, err
+		}
+		removed = append(removed, e.Name())
 	}
-	return cerr
+	return removed, nil
 }

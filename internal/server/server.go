@@ -6,6 +6,8 @@
 // Endpoints:
 //
 //	GET  /healthz                     — liveness
+//	GET  /readyz                      — readiness: graphs loaded, schedulers
+//	                                    accepting, no WAL in the failed state
 //	GET  /metrics                     — Prometheus text exposition
 //	GET  /graphs                      — list loaded graphs
 //	GET  /graphs/{name}               — one graph's metadata
@@ -55,8 +57,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"net/url"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -66,9 +70,11 @@ import (
 	"github.com/gwu-systems/gstore/internal/algo"
 	"github.com/gwu-systems/gstore/internal/core"
 	"github.com/gwu-systems/gstore/internal/delta"
+	"github.com/gwu-systems/gstore/internal/faultfs"
 	"github.com/gwu-systems/gstore/internal/metrics"
 	"github.com/gwu-systems/gstore/internal/qcache"
 	"github.com/gwu-systems/gstore/internal/tile"
+	"github.com/gwu-systems/gstore/internal/wal"
 )
 
 // GraphHandle is one served graph: the open tile store, its engine, and
@@ -112,6 +118,12 @@ type Server struct {
 	// tenant query label; requests over the cap get 429 with a "quota"
 	// metric status. Zero disables the cap.
 	TenantMaxRuns int
+
+	// DeltaFS, when set before AddGraph, routes every write-path file
+	// operation (WAL, delta snapshots) through it. The chaos harness and
+	// degraded-mode tests inject a faultfs.FaultFS here; production
+	// leaves it nil (real filesystem).
+	DeltaFS faultfs.FS
 
 	mu     sync.RWMutex
 	graphs map[string]*GraphHandle
@@ -172,6 +184,7 @@ func (s *Server) AddGraph(name, basePath string, opts core.Options) error {
 		fsync := s.walFsync(name)
 		ds, err = delta.Open(g, basePath, delta.Options{
 			OnFsync: func(d time.Duration) { fsync.Observe(d.Seconds()) },
+			FS:      s.DeltaFS,
 		})
 		if err != nil {
 			eng.Close()
@@ -191,6 +204,9 @@ func (s *Server) AddGraph(name, basePath string, opts core.Options) error {
 			"Edge mutations re-applied during crash recovery at graph open.", gl).
 			Add(st.ReplayOps)
 		s.deltaMetrics(name, st)
+		// Pre-register the degradation gauge at 0 so dashboards can alert
+		// on the 0→1 transition instead of on series appearance.
+		s.walFailed(name).Set(0)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -258,6 +274,13 @@ func (s *Server) walFsync(graph string) *metrics.Histogram {
 		metrics.DefBuckets, metrics.L("graph", graph))
 }
 
+func (s *Server) walFailed(graph string) *metrics.Gauge {
+	return s.reg.Gauge("gstore_wal_failed",
+		"1 when the graph's WAL is in the sticky failed state (ingest "+
+			"degraded to read-only, queries unaffected), by graph.",
+		metrics.L("graph", graph))
+}
+
 // deltaMetrics republishes the write path's cumulative counters and
 // current delta-layer shape from one stats snapshot.
 func (s *Server) deltaMetrics(graph string, st delta.Stats) {
@@ -300,16 +323,56 @@ func (s *Server) Close() {
 }
 
 // Handler returns the HTTP handler with instrumentation middleware
-// applied.
+// (request metrics + panic containment) applied.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("/readyz", s.handleReady)
 	mux.Handle("/metrics", s.reg.Handler())
 	mux.HandleFunc("/graphs", s.handleList)
 	mux.HandleFunc("/graphs/", s.handleGraph)
 	return s.instrument(mux)
+}
+
+// handleReady is the readiness probe: 200 only while the server can do
+// useful work — at least one graph is loaded, every scheduler still
+// admits runs, and no graph's WAL has entered the sticky failed state.
+// A not-ready server keeps serving the requests it can (queries work
+// during WAL-failed degradation); readiness only steers load balancers
+// and rollout gates.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.RLock()
+	handles := make([]*GraphHandle, 0, len(s.graphs))
+	for _, h := range s.graphs {
+		handles = append(handles, h)
+	}
+	s.mu.RUnlock()
+	if len(handles) == 0 {
+		writeErrorStatus(w, http.StatusServiceUnavailable, "no_graphs", "no graphs loaded")
+		return
+	}
+	for _, h := range handles {
+		if !h.sched.Accepting() {
+			writeErrorStatus(w, http.StatusServiceUnavailable, "shutting_down",
+				"graph %q is no longer accepting runs", h.Name)
+			return
+		}
+		if h.delta != nil {
+			if err := h.delta.Failed(); err != nil {
+				s.walFailed(h.Name).Set(1)
+				writeErrorStatus(w, http.StatusServiceUnavailable, "wal_failed",
+					"graph %q write path failed: %v", h.Name, err)
+				return
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"status": "ok", "graphs": len(handles)})
 }
 
 // ops are the algorithm path segments; anything else is labeled "other"
@@ -326,6 +389,8 @@ func (s *Server) routeLabels(path string) (graph, op string) {
 	switch {
 	case path == "/healthz":
 		return "", "healthz"
+	case path == "/readyz":
+		return "", "readyz"
 	case path == "/metrics":
 		return "", "metrics"
 	case path == "/graphs":
@@ -351,20 +416,33 @@ func (s *Server) routeLabels(path string) (graph, op string) {
 	}
 }
 
-// statusRecorder captures the status code written by a handler.
+// statusRecorder captures the status code written by a handler and
+// whether anything was written at all (so panic recovery knows if a 500
+// can still be sent).
 type statusRecorder struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
-	r.code = code
+	if !r.wrote {
+		r.code = code
+		r.wrote = true
+	}
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps next with per-request metrics: an in-flight gauge,
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(p)
+}
+
+// instrument wraps next with per-request metrics — an in-flight gauge,
 // a request counter by method/graph/op/status, and a latency histogram
-// by op.
+// by op — and panic containment: a panicking handler is logged with its
+// stack and answered with 500 status="panic" (when the response has not
+// started) instead of killing the whole process.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		inflight := s.reg.Gauge("gstore_http_requests_in_flight",
@@ -374,18 +452,29 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				s.reg.Counter("gstore_http_panics_total",
+					"Handler panics contained by the recovery middleware.").Inc()
+				log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				rec.code = http.StatusInternalServerError
+				if !rec.wrote {
+					writeErrorStatus(rec, http.StatusInternalServerError, "panic",
+						"internal error (handler panic)")
+				}
+			}
+			graph, op := s.routeLabels(r.URL.EscapedPath())
+			s.reg.Counter("gstore_http_requests_total",
+				"HTTP requests by method, graph, operation and status.",
+				metrics.L("method", r.Method),
+				metrics.L("graph", graph),
+				metrics.L("op", op),
+				metrics.L("status", strconv.Itoa(rec.code))).Inc()
+			s.reg.Histogram("gstore_http_request_duration_seconds",
+				"Request latency by operation.", metrics.DefBuckets,
+				metrics.L("op", op)).Observe(time.Since(start).Seconds())
+		}()
 		next.ServeHTTP(rec, r)
-
-		graph, op := s.routeLabels(r.URL.EscapedPath())
-		s.reg.Counter("gstore_http_requests_total",
-			"HTTP requests by method, graph, operation and status.",
-			metrics.L("method", r.Method),
-			metrics.L("graph", graph),
-			metrics.L("op", op),
-			metrics.L("status", strconv.Itoa(rec.code))).Inc()
-		s.reg.Histogram("gstore_http_request_duration_seconds",
-			"Request latency by operation.", metrics.DefBuckets,
-			metrics.L("op", op)).Observe(time.Since(start).Seconds())
 	})
 }
 
@@ -627,10 +716,19 @@ func writeRunError(w http.ResponseWriter, err error) {
 // handleEdges applies one batch of edge mutations through the graph's
 // WAL-backed write path. The batch is atomic with respect to queries
 // (readers see all of it or none of it) and durable once the response
-// is written: the WAL record is fsynced before Apply returns.
+// is written: the WAL record is fsynced before Apply returns. Once the
+// WAL enters its sticky failed state the graph degrades to read-only:
+// every mutation gets 503 status="wal_failed" (queries keep serving)
+// until the operator restarts the process against healthy storage.
 func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request, h *GraphHandle) {
 	if h.delta == nil {
 		writeError(w, http.StatusForbidden, "graph %q is read-only", h.Name)
+		return
+	}
+	if err := h.delta.Failed(); err != nil {
+		s.walFailed(h.Name).Set(1)
+		writeErrorStatus(w, http.StatusServiceUnavailable, "wal_failed",
+			"graph %q is read-only (write path failed): %v", h.Name, err)
 		return
 	}
 	var req struct {
@@ -665,9 +763,17 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request, h *GraphHan
 
 	if err != nil {
 		var bad *delta.BadOpError
-		if errors.As(err, &bad) {
+		switch {
+		case errors.As(err, &bad):
 			writeError(w, http.StatusBadRequest, "%v", err)
-		} else {
+		case errors.Is(err, wal.ErrFailed):
+			// The fsync failed under this very batch (or one racing it):
+			// nothing was acked, the WAL is poisoned, and the graph is now
+			// read-only for mutations.
+			s.walFailed(h.Name).Set(1)
+			writeErrorStatus(w, http.StatusServiceUnavailable, "wal_failed",
+				"graph %q write failed and is now read-only: %v", h.Name, err)
+		default:
 			writeError(w, http.StatusInternalServerError, "write path failure: %v", err)
 		}
 		return
@@ -896,4 +1002,14 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 
 func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeErrorStatus is writeError with a machine-readable "status" field
+// so clients can distinguish degradation classes (wal_failed, panic,
+// shutting_down, …) without parsing the human message.
+func writeErrorStatus(w http.ResponseWriter, code int, status, format string, args ...interface{}) {
+	writeJSON(w, code, map[string]string{
+		"error":  fmt.Sprintf(format, args...),
+		"status": status,
+	})
 }

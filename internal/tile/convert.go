@@ -2,8 +2,8 @@ package tile
 
 import (
 	"fmt"
-	"os"
 
+	"github.com/gwu-systems/gstore/internal/faultfs"
 	"github.com/gwu-systems/gstore/internal/fsutil"
 	"github.com/gwu-systems/gstore/internal/graph"
 	"github.com/gwu-systems/gstore/internal/grid"
@@ -37,6 +37,10 @@ type ConvertOptions struct {
 	// writes the legacy layout without checksums for compatibility
 	// testing.
 	FormatVersion int
+	// FS routes the converter's file writes; nil selects the real
+	// filesystem. The fault-injection harness uses it to crash or fail
+	// conversions at arbitrary points.
+	FS faultfs.FS
 }
 
 // codec resolves the Codec/SNB fields into the tuple codec to write.
@@ -170,7 +174,8 @@ func Convert(el *graph.EdgeList, dir, name string, opts ConvertOptions) (*Graph,
 		m.Codec = codec.String()
 	}
 
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := faultfs.Default(opts.FS)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	base := BasePath(dir, name)
@@ -190,7 +195,7 @@ func Convert(el *graph.EdgeList, dir, name string, opts ConvertOptions) (*Graph,
 		} else {
 			return nil, err
 		}
-		if err := fsutil.WriteFile(degPath(base), degData, 0o644); err != nil {
+		if err := fsutil.WriteFileFS(fsys, degPath(base), degData, 0o644); err != nil {
 			return nil, err
 		}
 	}
@@ -198,10 +203,10 @@ func Convert(el *graph.EdgeList, dir, name string, opts ConvertOptions) (*Graph,
 	if codec == CodecV3 {
 		startData = encodeStartV3(start, byteOff)
 	}
-	if err := fsutil.WriteFile(tilesPath(base), data, 0o644); err != nil {
+	if err := fsutil.WriteFileFS(fsys, tilesPath(base), data, 0o644); err != nil {
 		return nil, err
 	}
-	if err := fsutil.WriteFile(startPath(base), startData, 0o644); err != nil {
+	if err := fsutil.WriteFileFS(fsys, startPath(base), startData, 0o644); err != nil {
 		return nil, err
 	}
 	if ver >= Version {
@@ -212,7 +217,7 @@ func Convert(el *graph.EdgeList, dir, name string, opts ConvertOptions) (*Graph,
 			crcs = tileChecksums(data, start, tupleBytes)
 		}
 		crcData := encodeTileCRCs(crcs)
-		if err := fsutil.WriteFile(crcPath(base), crcData, 0o644); err != nil {
+		if err := fsutil.WriteFileFS(fsys, crcPath(base), crcData, 0o644); err != nil {
 			return nil, err
 		}
 		m.Manifest = &Manifest{
@@ -225,7 +230,13 @@ func Convert(el *graph.EdgeList, dir, name string, opts ConvertOptions) (*Graph,
 			m.Manifest.Deg = &s
 		}
 	}
-	if err := writeMeta(base, m); err != nil {
+	// Meta last: the commit point of the conversion. A crash right here
+	// leaves every section written but no meta — the graph simply does
+	// not exist yet, which recovery treats as "conversion never happened".
+	if err := fsys.CrashPoint("tile.convert.before-meta"); err != nil {
+		return nil, err
+	}
+	if err := writeMeta(fsys, base, m); err != nil {
 		return nil, err
 	}
 	return Open(base)

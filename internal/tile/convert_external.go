@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"github.com/gwu-systems/gstore/internal/faultfs"
 	"github.com/gwu-systems/gstore/internal/fsutil"
 	"github.com/gwu-systems/gstore/internal/graph"
 	"github.com/gwu-systems/gstore/internal/grid"
@@ -131,14 +132,15 @@ func ConvertExternal(edgePath string, numVertices uint32, directed bool,
 	}
 
 	// Pass 2: spill (diskIdx, tuple) records per bucket.
+	fsys := faultfs.Default(opts.FS)
 	tempDir := opts.TempDir
 	if tempDir == "" {
 		tempDir = dir
 	}
-	if err := os.MkdirAll(tempDir, 0o755); err != nil {
+	if err := fsys.MkdirAll(tempDir, 0o755); err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	spillDir, err := os.MkdirTemp(tempDir, "gstore-spill-")
@@ -148,9 +150,9 @@ func ConvertExternal(edgePath string, numVertices uint32, directed bool,
 	defer os.RemoveAll(spillDir)
 
 	spills := make([]*bufio.Writer, len(buckets))
-	spillFiles := make([]*os.File, len(buckets))
+	spillFiles := make([]faultfs.File, len(buckets))
 	for i := range spills {
-		f, err := os.Create(filepath.Join(spillDir, fmt.Sprintf("b%d", i)))
+		f, err := fsys.OpenFile(filepath.Join(spillDir, fmt.Sprintf("b%d", i)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 		if err != nil {
 			return nil, err
 		}
@@ -194,7 +196,7 @@ func ConvertExternal(edgePath string, numVertices uint32, directed bool,
 	// digest are computed from the same in-memory buckets as they are
 	// written, costing no extra read pass.
 	base := BasePath(dir, name)
-	out, err := fsutil.Create(tilesPath(base), 0o644)
+	out, err := fsutil.CreateFS(fsys, tilesPath(base), 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -215,7 +217,7 @@ func ConvertExternal(edgePath string, numVertices uint32, directed bool,
 		for i := b.loTile; i < b.hiTile; i++ {
 			next[i] = start[i]
 		}
-		f, err := os.Open(filepath.Join(spillDir, fmt.Sprintf("b%d", bi)))
+		f, err := fsys.OpenFile(filepath.Join(spillDir, fmt.Sprintf("b%d", bi)), os.O_RDONLY, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -294,7 +296,7 @@ func ConvertExternal(edgePath string, numVertices uint32, directed bool,
 		} else {
 			return nil, err
 		}
-		if err := fsutil.WriteFile(degPath(base), degData, 0o644); err != nil {
+		if err := fsutil.WriteFileFS(fsys, degPath(base), degData, 0o644); err != nil {
 			return nil, err
 		}
 	}
@@ -304,12 +306,12 @@ func ConvertExternal(edgePath string, numVertices uint32, directed bool,
 		startData = encodeStartV3(start, byteOff)
 		tilesBytes = byteOff[nt]
 	}
-	if err := fsutil.WriteFile(startPath(base), startData, 0o644); err != nil {
+	if err := fsutil.WriteFileFS(fsys, startPath(base), startData, 0o644); err != nil {
 		return nil, err
 	}
 	if ver >= Version {
 		crcData := encodeTileCRCs(crcs)
-		if err := fsutil.WriteFile(crcPath(base), crcData, 0o644); err != nil {
+		if err := fsutil.WriteFileFS(fsys, crcPath(base), crcData, 0o644); err != nil {
 			return nil, err
 		}
 		m.Manifest = &Manifest{
@@ -323,7 +325,10 @@ func ConvertExternal(edgePath string, numVertices uint32, directed bool,
 		}
 	}
 	// Meta last: the commit point of the conversion.
-	if err := writeMeta(base, m); err != nil {
+	if err := fsys.CrashPoint("tile.convert.before-meta"); err != nil {
+		return nil, err
+	}
+	if err := writeMeta(fsys, base, m); err != nil {
 		return nil, err
 	}
 	return Open(base)

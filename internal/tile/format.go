@@ -29,6 +29,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"github.com/gwu-systems/gstore/internal/faultfs"
 	"github.com/gwu-systems/gstore/internal/fsutil"
 )
 
@@ -160,7 +161,7 @@ func degPath(p string) string   { return p + ".deg" }
 // writes it atomically. The meta file is the commit point of a
 // conversion: it is written last, so its presence implies every section
 // it names was already durably written.
-func writeMeta(p string, m *Meta) error {
+func writeMeta(fsys faultfs.FS, p string, m *Meta) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
@@ -169,7 +170,7 @@ func writeMeta(p string, m *Meta) error {
 	if m.Version >= Version {
 		data = signMeta(data)
 	}
-	return fsutil.WriteFile(metaPath(p), data, 0o644)
+	return fsutil.WriteFileFS(fsys, metaPath(p), data, 0o644)
 }
 
 func readMeta(p string) (*Meta, error) {

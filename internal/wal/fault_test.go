@@ -1,0 +1,114 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/gwu-systems/gstore/internal/faultfs"
+)
+
+// A failed group-commit fsync must error EVERY cohort member — no
+// appender whose bytes rode the failed fsync may be acked — and none of
+// those records may surface as durable on replay.
+func TestFsyncFailureErrorsWholeCohort(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	fs := faultfs.New(21)
+	w, err := Open(dir, Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An acked prefix, written and fsynced before any fault is armed.
+	const acked = 5
+	appendN(t, w, 0, acked)
+
+	// From here on every fsync fails.
+	fs.Arm(faultfs.Rule{Op: faultfs.OpSync, Every: true})
+
+	const cohort = 8
+	errs := make([]error, cohort)
+	var wg sync.WaitGroup
+	for i := 0; i < cohort; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w.Append([]byte(fmt.Sprintf("cohort-%02d", i)))
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("cohort member %d was acked despite failed fsync", i)
+		}
+	}
+	if w.Failed() == nil {
+		t.Fatal("log must be in sticky failed state after fsync failure")
+	}
+	// Sticky: a later append is refused up front with ErrFailed.
+	if err := w.Append(rec(99)); !errors.Is(err, ErrFailed) {
+		t.Fatalf("append on failed log = %v, want ErrFailed", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close of failed log: %v", err)
+	}
+
+	// Replay through the real filesystem: exactly the acked prefix, and
+	// never a cohort record — those LSNs were never reported durable.
+	var got [][]byte
+	st, err := ReplayFS(faultfs.OS, dir, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(got) != acked {
+		t.Fatalf("replay found %d records (stats %+v), want exactly the %d acked", len(got), st, acked)
+	}
+	for i, p := range got {
+		if !bytes.Equal(p, rec(i)) {
+			t.Fatalf("record %d = %q, want %q", i, p, rec(i))
+		}
+	}
+	for _, p := range got {
+		if bytes.HasPrefix(p, []byte("cohort-")) {
+			t.Fatalf("unacked cohort record %q surfaced on replay", p)
+		}
+	}
+}
+
+// A cohort member whose bytes were already made durable by an earlier
+// group commit is acked even if a later fsync fails: only callers whose
+// records actually rode the failed fsync see the error.
+func TestFsyncFailurePoisonsOnlyUndurableTail(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	fs := faultfs.New(22)
+	w, err := Open(dir, Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 3)
+
+	// Second fsync from now on fails; the next append syncs fine, the
+	// one after poisons.
+	fs.Arm(faultfs.Rule{Op: faultfs.OpSync, AfterN: 2})
+	if err := w.Append(rec(3)); err != nil {
+		t.Fatalf("append before armed fsync: %v", err)
+	}
+	if err := w.Append(rec(4)); err == nil {
+		t.Fatal("append riding the failed fsync must error")
+	} else if !errors.Is(err, ErrFailed) {
+		t.Fatalf("append error = %v, want wrapped ErrFailed", err)
+	}
+	w.Close()
+
+	got, st := replayAll(t, dir)
+	if len(got) != 4 {
+		t.Fatalf("replay found %d records (stats %+v), want 4 acked", len(got), st)
+	}
+}

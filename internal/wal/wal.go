@@ -9,6 +9,15 @@
 // discarded. After the owning store flushes its state, old segments are
 // deleted with TruncateBefore.
 //
+// Failure discipline: a failed segment write is rolled back (the partial
+// frame is truncated away) so the log stays appendable, but a failed
+// fsync poisons the log permanently — the kernel may have dropped any
+// subset of the unflushed pages, so no later "successful" fsync can
+// retroactively vouch for them. A poisoned log rejects every subsequent
+// Append with ErrFailed, every cohort member of the failed group commit
+// gets the error (no ack), and the unacknowledged tail is truncated away
+// so those records can never surface on replay.
+//
 // Record framing: [uint32 payload length][uint32 CRC32C(payload)]
 // [payload], little endian. A record whose length field or checksum does
 // not validate ends replay of its segment.
@@ -16,6 +25,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -24,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/gwu-systems/gstore/internal/faultfs"
 	"github.com/gwu-systems/gstore/internal/fsutil"
 )
 
@@ -40,6 +51,11 @@ const (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// ErrFailed marks a log poisoned by a failed fsync (or an unrecoverable
+// write error). Every Append on a failed log wraps it; the owning store
+// should degrade to read-only rather than retry.
+var ErrFailed = errors.New("wal: log in failed state")
+
 // Options configures a log.
 type Options struct {
 	// SegmentBytes is the rotation threshold; a record that would push
@@ -49,15 +65,18 @@ type Options struct {
 	// OnFsync, when non-nil, observes the duration of every fsync issued
 	// by group commit (for the gstore_wal_fsync_seconds histogram).
 	OnFsync func(d time.Duration)
+	// FS routes all file operations; nil selects the real filesystem.
+	FS faultfs.FS
 }
 
 // W is an open write-ahead log. Append is safe for concurrent use.
 type W struct {
 	dir  string
 	opts Options
+	fs   faultfs.FS
 
 	mu      sync.Mutex // guards the fields below and all file writes
-	f       *os.File
+	f       faultfs.File
 	seg     int   // current segment number
 	size    int64 // bytes written to the current segment
 	written int64 // monotone byte count across all segments (LSN)
@@ -65,6 +84,7 @@ type W struct {
 	// log durable (everything in closed segments).
 	rotDurable int64
 	closed     bool
+	failErr    error // non-nil once the log is poisoned (sticky)
 
 	syncMu  sync.Mutex // serializes group commit
 	durable int64      // LSN made durable by explicit fsync
@@ -74,8 +94,8 @@ type W struct {
 func segName(n int) string { return fmt.Sprintf("%08d", n) }
 
 // listSegments returns the numeric segment numbers in dir, ascending.
-func listSegments(dir string) ([]int, error) {
-	ents, err := os.ReadDir(dir)
+func listSegments(fsys faultfs.FS, dir string) ([]int, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -98,14 +118,15 @@ func Open(dir string, opts Options) (*W, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = DefaultSegmentBytes
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := faultfs.Default(opts.FS)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
-	w := &W{dir: dir, opts: opts}
+	w := &W{dir: dir, opts: opts, fs: fsys}
 	if len(segs) == 0 {
 		if err := w.createSegment(1); err != nil {
 			return nil, err
@@ -114,7 +135,7 @@ func Open(dir string, opts Options) (*W, error) {
 	}
 	last := segs[len(segs)-1]
 	path := filepath.Join(dir, segName(last))
-	data, err := os.ReadFile(path)
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +143,7 @@ func Open(dir string, opts Options) (*W, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: segment %s: %w", path, err)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -149,11 +170,11 @@ func Open(dir string, opts Options) (*W, error) {
 // createSegment makes segment n the current append target. Callers hold
 // w.mu (or own the W exclusively, as Open does).
 func (w *W) createSegment(n int) error {
-	f, err := os.OpenFile(filepath.Join(w.dir, segName(n)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := w.fs.OpenFile(filepath.Join(w.dir, segName(n)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
-	if err := fsutil.SyncDir(w.dir); err != nil {
+	if err := fsutil.SyncDirFS(w.fs, w.dir); err != nil {
 		f.Close()
 		return err
 	}
@@ -168,10 +189,28 @@ func (w *W) Segment() int {
 	return w.seg
 }
 
+// Failed returns the sticky poisoning error, or nil while the log is
+// healthy.
+func (w *W) Failed() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failErr
+}
+
+// failLocked poisons the log. Callers hold w.mu.
+func (w *W) failLocked(cause error) error {
+	if w.failErr == nil {
+		w.failErr = fmt.Errorf("%w: %v", ErrFailed, cause)
+	}
+	return w.failErr
+}
+
 // Append frames payload, writes it to the log, and returns once the
 // record is durable (fsynced). Concurrent appenders are group-committed:
 // whoever reaches the fsync first covers every record written so far, so
-// the others return without issuing their own.
+// the others return without issuing their own. A nil return is the only
+// ack; after a failed group-commit fsync every cohort member gets an
+// error and the log is poisoned (see ErrFailed).
 func (w *W) Append(payload []byte) error {
 	if len(payload) == 0 || len(payload) > MaxRecordBytes {
 		return fmt.Errorf("wal: record payload of %d bytes out of range [1,%d]", len(payload), MaxRecordBytes)
@@ -183,6 +222,11 @@ func (w *W) Append(payload []byte) error {
 		w.mu.Unlock()
 		return fmt.Errorf("wal: append on closed log")
 	}
+	if w.failErr != nil {
+		err := w.failErr
+		w.mu.Unlock()
+		return err
+	}
 	if w.size > 0 && w.size+frame > w.opts.SegmentBytes {
 		if err := w.rotateLocked(); err != nil {
 			w.mu.Unlock()
@@ -193,10 +237,17 @@ func (w *W) Append(payload []byte) error {
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
 	if _, err := w.f.Write(hdr[:]); err != nil {
+		err = w.rollbackPartialFrameLocked(err)
 		w.mu.Unlock()
 		return err
 	}
 	if _, err := w.f.Write(payload); err != nil {
+		err = w.rollbackPartialFrameLocked(err)
+		w.mu.Unlock()
+		return err
+	}
+	if err := w.fs.CrashPoint("wal.append.after-write"); err != nil {
+		err = w.rollbackPartialFrameLocked(err)
 		w.mu.Unlock()
 		return err
 	}
@@ -208,12 +259,33 @@ func (w *W) Append(payload []byte) error {
 	return w.syncTo(myEnd)
 }
 
+// rollbackPartialFrameLocked restores the segment to the frame boundary
+// at w.size after a failed frame write. If the partial bytes cannot be
+// removed the log is poisoned: appending after garbage would strand
+// every later record beyond the replayable prefix. Callers hold w.mu.
+func (w *W) rollbackPartialFrameLocked(cause error) error {
+	if terr := w.f.Truncate(w.size); terr != nil {
+		return w.failLocked(fmt.Errorf("append failed (%v) and rollback truncate failed: %w", cause, terr))
+	}
+	if _, serr := w.f.Seek(w.size, 0); serr != nil {
+		return w.failLocked(fmt.Errorf("append failed (%v) and rollback seek failed: %w", cause, serr))
+	}
+	return fmt.Errorf("wal: append: %w", cause)
+}
+
 // syncTo blocks until every log byte up to LSN end is durable,
 // fsyncing at most once across the cohort of concurrent appenders.
 func (w *W) syncTo(end int64) error {
 	w.syncMu.Lock()
 	defer w.syncMu.Unlock()
 	w.mu.Lock()
+	if w.failErr != nil {
+		// A cohort-mate's fsync failed after our bytes were written:
+		// our record is not durable and never will be.
+		err := w.failErr
+		w.mu.Unlock()
+		return err
+	}
 	if w.rotDurable > w.durable {
 		w.durable = w.rotDurable
 	}
@@ -229,28 +301,49 @@ func (w *W) syncTo(end int64) error {
 	if w.opts.OnFsync != nil {
 		w.opts.OnFsync(time.Since(begin))
 	}
-	if err != nil {
-		return fmt.Errorf("wal: fsync: %w", err)
-	}
 	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err != nil {
+		// Poison the log and drop the never-durable tail so replay can
+		// never surface records no caller was acked for. The kernel may
+		// already have persisted any subset of these pages; truncating is
+		// best-effort (a real crash tears them anyway, and scanRecords
+		// stops at the first invalid frame).
+		ferr := w.failLocked(fmt.Errorf("fsync: %v", err))
+		durable := w.durable
+		if w.rotDurable > durable {
+			durable = w.rotDurable
+		}
+		if undurable := w.written - durable; undurable > 0 && undurable <= w.size {
+			keep := w.size - undurable
+			if w.f.Truncate(keep) == nil {
+				w.size = keep
+				w.written = durable
+			}
+		}
+		return ferr
+	}
 	if cur > w.durable {
 		w.durable = cur
 	}
-	w.mu.Unlock()
 	return nil
 }
 
 // rotateLocked closes out the current segment — fsyncing it first, so
 // only the newest segment can ever hold a torn record — and starts the
-// next one. Callers hold w.mu.
+// next one. A failed rotation fsync poisons the log like any group
+// commit fsync failure. Callers hold w.mu.
 func (w *W) rotateLocked() error {
 	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync before rotation: %w", err)
+		return w.failLocked(fmt.Errorf("fsync before rotation: %v", err))
 	}
 	if err := w.f.Close(); err != nil {
-		return err
+		return w.failLocked(fmt.Errorf("close before rotation: %v", err))
 	}
 	w.rotDurable = w.written
+	if err := w.fs.CrashPoint("wal.rotate.after-sync"); err != nil {
+		return w.failLocked(err)
+	}
 	return w.createSegment(w.seg + 1)
 }
 
@@ -264,6 +357,9 @@ func (w *W) Rotate() (newSeg int, err error) {
 	if w.closed {
 		return 0, fmt.Errorf("wal: rotate on closed log")
 	}
+	if w.failErr != nil {
+		return 0, w.failErr
+	}
 	if err := w.rotateLocked(); err != nil {
 		return 0, err
 	}
@@ -275,7 +371,7 @@ func (w *W) Rotate() (newSeg int, err error) {
 func (w *W) TruncateBefore(keep int) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	segs, err := listSegments(w.dir)
+	segs, err := listSegments(w.fs, w.dir)
 	if err != nil {
 		return err
 	}
@@ -284,18 +380,24 @@ func (w *W) TruncateBefore(keep int) error {
 		if n >= keep || n == w.seg {
 			continue
 		}
-		if err := os.Remove(filepath.Join(w.dir, segName(n))); err != nil {
+		if err := w.fs.Remove(filepath.Join(w.dir, segName(n))); err != nil {
 			return err
 		}
 		removed = true
 	}
 	if removed {
-		return fsutil.SyncDir(w.dir)
+		if err := w.fs.CrashPoint("wal.truncate.after-remove"); err != nil {
+			return err
+		}
+		return fsutil.SyncDirFS(w.fs, w.dir)
 	}
 	return nil
 }
 
-// Close fsyncs and closes the current segment.
+// Close fsyncs and closes the current segment. A poisoned log skips the
+// fsync — its tail was already truncated to the durable watermark, and a
+// "successful" close-time fsync must not imply an ack that never
+// happened.
 func (w *W) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -303,6 +405,10 @@ func (w *W) Close() error {
 		return nil
 	}
 	w.closed = true
+	if w.failErr != nil {
+		w.f.Close()
+		return nil
+	}
 	if err := w.f.Sync(); err != nil {
 		w.f.Close()
 		return err
@@ -326,8 +432,14 @@ type ReplayStats struct {
 // in the final segment; anywhere else it is an error, because rotation
 // guarantees closed segments were durable. fn errors abort the replay.
 func Replay(dir string, fn func(payload []byte) error) (ReplayStats, error) {
+	return ReplayFS(nil, dir, fn)
+}
+
+// ReplayFS is Replay over fsys (nil selects the real filesystem).
+func ReplayFS(fsys faultfs.FS, dir string, fn func(payload []byte) error) (ReplayStats, error) {
+	fsys = faultfs.Default(fsys)
 	var st ReplayStats
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return st, nil // no log yet: nothing to replay
@@ -336,7 +448,7 @@ func Replay(dir string, fn func(payload []byte) error) (ReplayStats, error) {
 	}
 	for i, n := range segs {
 		path := filepath.Join(dir, segName(n))
-		data, err := os.ReadFile(path)
+		data, err := fsys.ReadFile(path)
 		if err != nil {
 			return st, err
 		}
@@ -406,7 +518,7 @@ func (f CheckFinding) String() string {
 // Check validates the log offline for fsck: every record of every
 // segment is length- and checksum-verified. It never modifies the log.
 func Check(dir string) (stats ReplayStats, findings []CheckFinding, err error) {
-	segs, err := listSegments(dir)
+	segs, err := listSegments(faultfs.OS, dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return stats, nil, nil

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/gwu-systems/gstore/internal/faultfs"
 )
 
 func rec(i int) []byte { return []byte(fmt.Sprintf("record-%04d-%s", i, "payload")) }
@@ -76,7 +78,7 @@ func TestRotationAndTruncate(t *testing.T) {
 	if err := w.TruncateBefore(newSeg); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(faultfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,7 +5,7 @@
 //
 //	gstore convert -in edges.bin -vertices 1048576 [-directed] -dir data -name mygraph
 //	gstore info -graph data/mygraph
-//	gstore bfs -graph data/mygraph -root 0
+//	gstore bfs -graph data/mygraph -root 0 [-backend file [-direct]]
 //	gstore pagerank -graph data/mygraph -iters 10
 //	gstore wcc -graph data/mygraph
 //	gstore ingest -graph data/mygraph -in mutations.txt
@@ -360,7 +360,11 @@ func engineFlags(fs *flag.FlagSet) func() core.Options {
 	threads := fs.Int("threads", 0, "worker threads")
 	chunk := fs.Int64("chunk", 0, "work-item chunk size in bytes (0 = 256KiB default, -1 = whole tiles)")
 	disks := fs.Int("disks", 8, "simulated SSD count")
-	bw := fs.Float64("bandwidth", 0, "per-disk bandwidth in bytes/s (0 = unthrottled)")
+	bw := fs.Float64("bandwidth", 0, "per-disk bandwidth in bytes/s (0 = unthrottled; -backend sim: per disk, file: aggregate)")
+	backend := fs.String("backend", "sim", "storage backend: sim (simulated striped array) or file (real async reads)")
+	direct := fs.Bool("direct", false, "with -backend file, bypass the page cache (O_DIRECT; falls back to buffered where unsupported)")
+	ioworkers := fs.Int("ioworkers", 0, "with -backend file, submitter goroutine count (0 = default 4)")
+	readahead := fs.Int64("readahead", 0, "with -backend file, next-iteration readahead budget in bytes (0 = default 8MiB, negative disables)")
 	policy := fs.String("cache", "proactive", "cache policy: proactive, lru, none")
 	sync := fs.Bool("syncio", false, "use synchronous reads instead of batched AIO")
 	trace := fs.Bool("trace", false, "print one diagnostic line per iteration")
@@ -387,6 +391,10 @@ func engineFlags(fs *flag.FlagSet) func() core.Options {
 		o.ChunkBytes = *chunk
 		o.Disks = *disks
 		o.Bandwidth = *bw
+		o.Backend = *backend
+		o.DirectIO = *direct
+		o.IOWorkers = *ioworkers
+		o.ReadaheadBytes = *readahead
 		o.SyncIO = *sync
 		o.MaxRetries = *retries
 		if *faultRate > 0 || *faultShort > 0 || *faultSlow > 0 || *faultCorrupt > 0 {

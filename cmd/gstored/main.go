@@ -75,7 +75,11 @@ func main() {
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "coalescing window fusing concurrent GET bfs roots into one msbfs run (0 disables)")
 	tenantMax := flag.Int("tenant-maxruns", 0, "max concurrent runs per ?tenant= label (0 = unlimited)")
 	disks := flag.Int("disks", 8, "simulated SSD count")
-	bw := flag.Float64("bandwidth", 0, "per-disk bandwidth in bytes/s (0 = unthrottled)")
+	bw := flag.Float64("bandwidth", 0, "per-disk bandwidth in bytes/s (0 = unthrottled; -backend sim: per disk, file: aggregate)")
+	backend := flag.String("backend", "sim", "storage backend: sim (simulated striped array) or file (real async reads)")
+	direct := flag.Bool("direct", false, "with -backend file, bypass the page cache (O_DIRECT; falls back to buffered where unsupported)")
+	ioworkers := flag.Int("ioworkers", 0, "with -backend file, submitter goroutine count (0 = default 4)")
+	readahead := flag.Int64("readahead", 0, "with -backend file, next-iteration readahead budget in bytes (0 = default 8MiB, negative disables)")
 	pprofOn := flag.Bool("pprof", true, "serve net/http/pprof under /debug/pprof/")
 	readOnly := flag.Bool("readonly", false, "serve without the write path: no WAL recovery, POST /edges refused")
 	faultRate := flag.Float64("faultrate", 0, "injected read-error probability in [0,1]")
@@ -127,6 +131,10 @@ func main() {
 		opts.BatchWindow = *batchWindow
 		opts.Disks = *disks
 		opts.Bandwidth = *bw
+		opts.Backend = *backend
+		opts.DirectIO = *direct
+		opts.IOWorkers = *ioworkers
+		opts.ReadaheadBytes = *readahead
 		if *faultRate > 0 || *faultShort > 0 || *faultCorrupt > 0 {
 			opts.Fault = &storage.FaultConfig{
 				Seed:        *faultSeed,

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"github.com/gwu-systems/gstore/internal/algo"
+	"github.com/gwu-systems/gstore/internal/delta"
 	"github.com/gwu-systems/gstore/internal/gen"
 	"github.com/gwu-systems/gstore/internal/tile"
 )
@@ -65,6 +66,65 @@ func BenchmarkRunHotLoopAllocs(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Run(ctx, algo.NewPageRank(5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunHotLoopAllocsMerged measures the base∪delta merge path:
+// a v3 graph with a delta layer whose ops are re-toggled every Run, so
+// each iteration decodes and re-merges dirty tiles instead of hitting
+// the merge memo. The merge-key scratch is pooled; allocs/op here is
+// the regression guard for that pool.
+func BenchmarkRunHotLoopAllocsMerged(b *testing.B) {
+	el, err := gen.Generate(gen.Graph500Config(11, 8, 77))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	g, err := tile.Convert(el, dir, "mb", tile.ConvertOptions{
+		TileBits: 6, GroupQ: 4, Symmetry: true, Codec: "v3", Degrees: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	ds, err := delta.Open(g, g.BasePath(), delta.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ds.Close()
+
+	// Edges spread across the vertex range so many tiles carry deltas.
+	nv := g.Meta.NumVertices
+	ops := make([]delta.Op, 0, 128)
+	for i := uint32(0); i < 128; i++ {
+		ops = append(ops, delta.Op{Src: (i * 131) % nv, Dst: (i*197 + 7) % nv})
+	}
+
+	opts := DefaultOptions()
+	opts.MemoryBytes = 1 << 20
+	opts.SegmentSize = 64 << 10
+	opts.Threads = 4
+	e, err := NewEngine(g, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	e.SetDeltaStore(ds)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Toggle between inserted and deleted so every Run sees dirty
+		// tiles and the merge memo never short-circuits the decode.
+		for j := range ops {
+			ops[j].Del = i%2 == 0
+		}
+		if _, err := ds.Apply(ops); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(ctx, algo.NewPageRank(2)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/gwu-systems/gstore/internal/algo"
+	"github.com/gwu-systems/gstore/internal/delta"
+	"github.com/gwu-systems/gstore/internal/storage"
+	"github.com/gwu-systems/gstore/internal/tile"
+)
+
+// fileOpts is smallOpts on the file backend: same memory geometry, so
+// the two backends drive identical sweep plans.
+func fileOpts() Options {
+	o := smallOpts()
+	o.Backend = "file"
+	return o
+}
+
+// TestBackendsAgreeOnQueries is the backend acceptance test: the same
+// graph must answer BFS and WCC bit-identically and PageRank within
+// 1e-9 whether tiles are served by the simulated array or by real file
+// reads (buffered or direct).
+func TestBackendsAgreeOnQueries(t *testing.T) {
+	el := kron(t, 11, 8, 9)
+	g := convert(t, el, 6, 4)
+
+	simBFS := algo.NewBFS(0)
+	runAlg(t, g, smallOpts(), simBFS)
+	simWCC := algo.NewWCC()
+	runAlg(t, g, smallOpts(), simWCC)
+	simPR := algo.NewPageRank(10)
+	runAlg(t, g, smallOpts(), simPR)
+
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"file", fileOpts()},
+		{"file-direct", func() Options { o := fileOpts(); o.DirectIO = true; return o }()},
+		{"file-noreadahead", func() Options { o := fileOpts(); o.ReadaheadBytes = -1; return o }()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := algo.NewBFS(0)
+			st := runAlg(t, g, tc.opts, b)
+			for v, d := range b.Depths() {
+				if d != simBFS.Depths()[v] {
+					t.Fatalf("BFS depth[%d] = %d, sim says %d", v, d, simBFS.Depths()[v])
+				}
+			}
+			if st.IO.Backend != "file" {
+				t.Fatalf("Stats.IO.Backend = %q, want file", st.IO.Backend)
+			}
+			if st.IO.Spans <= 0 || st.IO.Latency.Count <= 0 {
+				t.Fatalf("file backend recorded no spans/latency: %+v", st.IO)
+			}
+			if st.BytesRead <= 0 {
+				t.Fatal("file backend read no bytes")
+			}
+
+			w := algo.NewWCC()
+			runAlg(t, g, tc.opts, w)
+			for v, l := range w.Labels() {
+				if l != simWCC.Labels()[v] {
+					t.Fatalf("WCC label[%d] = %d, sim says %d", v, l, simWCC.Labels()[v])
+				}
+			}
+
+			p := algo.NewPageRank(10)
+			runAlg(t, g, tc.opts, p)
+			for v, r := range p.Ranks() {
+				if math.Abs(r-simPR.Ranks()[v]) > 1e-9 {
+					t.Fatalf("PageRank rank[%d] = %g, sim says %g", v, r, simPR.Ranks()[v])
+				}
+			}
+		})
+	}
+}
+
+// TestFileBackendMatrix runs the convert → fsck → run → mutate → rerun
+// sequence on the file backend for every codec: the mutated graph's
+// answers must match a sim-backend engine over the same store.
+func TestFileBackendMatrix(t *testing.T) {
+	el := kron(t, 10, 8, 11)
+	for _, codec := range []string{"snb", "v3"} {
+		t.Run(codec, func(t *testing.T) {
+			g := convertCodec(t, el, 6, 4, codec)
+			if rep := tile.Fsck(g.BasePath()); !rep.OK() {
+				t.Fatalf("fsck after convert: %+v", rep.Findings)
+			}
+
+			ds, err := delta.Open(g, g.BasePath(), delta.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ds.Close()
+
+			mkEngine := func(opts Options) *Engine {
+				e, err := NewEngine(g, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(e.Close)
+				e.SetDeltaStore(ds)
+				return e
+			}
+			fe := mkEngine(fileOpts())
+			se := mkEngine(smallOpts())
+
+			check := func(stage string) {
+				fb, sb := algo.NewBFS(0), algo.NewBFS(0)
+				if _, err := fe.Run(context.Background(), fb); err != nil {
+					t.Fatalf("%s: file BFS: %v", stage, err)
+				}
+				if _, err := se.Run(context.Background(), sb); err != nil {
+					t.Fatalf("%s: sim BFS: %v", stage, err)
+				}
+				for v := range fb.Depths() {
+					if fb.Depths()[v] != sb.Depths()[v] {
+						t.Fatalf("%s: depth[%d] = %d vs sim %d", stage, v, fb.Depths()[v], sb.Depths()[v])
+					}
+				}
+			}
+			check("pre-mutation")
+
+			// Mutate: delete a spread of base edges and insert fresh ones.
+			var ops []delta.Op
+			n := uint32(g.Meta.NumVertices)
+			for i := uint32(0); i < 200; i += 2 {
+				ops = append(ops, delta.Op{Del: true, Src: i % n, Dst: (i * 7) % n})
+				ops = append(ops, delta.Op{Src: (i*13 + 1) % n, Dst: (i*29 + 3) % n})
+			}
+			if _, err := ds.Apply(ops); err != nil {
+				t.Fatal(err)
+			}
+			check("post-mutation")
+		})
+	}
+}
+
+// TestFileBackendFaultRetries: FaultDevice wraps the file backend the
+// same way it wraps the simulator, and the engine's retry path recovers
+// injected failures on real reads.
+func TestFileBackendFaultRetries(t *testing.T) {
+	el := kron(t, 10, 8, 13)
+	g := convert(t, el, 6, 4)
+
+	opts := fileOpts()
+	opts.MaxRetries = 8
+	opts.Fault = &storage.FaultConfig{Seed: 5, ErrorRate: 0.05, ShortRate: 0.05}
+	b := algo.NewBFS(0)
+	st := runAlg(t, g, opts, b)
+	if st.IOFailures == 0 || st.Retries == 0 {
+		t.Fatalf("fault injection exercised no retries: failures=%d retries=%d",
+			st.IOFailures, st.Retries)
+	}
+
+	ref := algo.NewBFS(0)
+	runAlg(t, g, smallOpts(), ref)
+	for v := range b.Depths() {
+		if b.Depths()[v] != ref.Depths()[v] {
+			t.Fatalf("depth[%d] = %d after retries, want %d", v, b.Depths()[v], ref.Depths()[v])
+		}
+	}
+}
+
+// TestFileBackendReadaheadHints: a multi-iteration PageRank on the file
+// backend should emit NeedTileNextIter readahead hints.
+func TestFileBackendReadaheadHints(t *testing.T) {
+	el := kron(t, 10, 8, 17)
+	g := convert(t, el, 6, 4)
+	o := fileOpts()
+	o.Cache = CacheNone // no pool: every next-iter tile is hintable
+	st := runAlg(t, g, o, algo.NewPageRank(3))
+	if st.IO.ReadaheadHints == 0 || st.IO.ReadaheadBytes == 0 {
+		t.Fatalf("no readahead hints recorded: %+v", st.IO)
+	}
+}
+
+// TestBackendOptionValidation pins the -backend flag's error behavior.
+func TestBackendOptionValidation(t *testing.T) {
+	el := kron(t, 9, 4, 19)
+	g := convert(t, el, 6, 4)
+	o := smallOpts()
+	o.Backend = "nvme-of"
+	if _, err := NewEngine(g, o); err == nil {
+		t.Fatal("unknown backend should fail engine construction")
+	}
+}

@@ -76,6 +76,12 @@ type Engine struct {
 	// was left to charge. Engine-lifetime counter; Run reports the delta
 	// it observed in Stats.UnattributedBytes.
 	unattributedBytes atomic.Int64
+
+	// ra, when the device accepts hints, receives next-iteration tile
+	// ranges (the NeedTileNextIter union) after each sweep; raBudget
+	// caps the hinted bytes per iteration.
+	ra       storage.Readaheader
+	raBudget int64
 }
 
 // runState is one algorithm run riding a sweep batch: its kernel, its
@@ -102,6 +108,13 @@ type runState struct {
 	// interested runs charges each of them 1/k of its bytes and requests.
 	bytesFrac float64
 	reqFrac   float64
+
+	// startExt snapshots the backend's extended counters at admission so
+	// completeFinished can seal Stats.IO as this run's window delta.
+	// Co-scheduled runs overlap, so their IO windows overlap too (like
+	// Stats.Storage, unlike the fractional bytes/requests above).
+	startExt storage.ExtStats
+	hasExt   bool
 }
 
 // prepare validates and initializes a for this engine's graph and wraps
@@ -224,18 +237,29 @@ func NewEngine(g *tile.Graph, opts Options) (*Engine, error) {
 		opts.SegmentSize = maxTile
 	}
 	var array storage.Device
-	array, err := storage.NewArray(g.TilesFile(), storage.Options{
-		NumDisks:   opts.Disks,
-		StripeSize: opts.StripeSize,
-		Bandwidth:  opts.Bandwidth,
-		Latency:    opts.Latency,
-	})
+	var err error
+	if opts.Backend == "file" {
+		array, err = storage.NewFileDevice(g.TilesPath(), storage.FileOptions{
+			Workers:   opts.IOWorkers,
+			Direct:    opts.DirectIO,
+			Bandwidth: opts.Bandwidth,
+			Latency:   opts.Latency,
+		})
+	} else {
+		array, err = storage.NewArray(g.TilesFile(), storage.Options{
+			NumDisks:   opts.Disks,
+			StripeSize: opts.StripeSize,
+			Bandwidth:  opts.Bandwidth,
+			Latency:    opts.Latency,
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
 	if opts.HDD != nil && opts.HDD.Fraction > 0 {
 		// Tiered store (paper §IX, future work): the trailing fraction of
-		// the tiles file lives on simulated hard drives.
+		// the tiles file lives on simulated hard drives. The fast tier is
+		// whichever backend was selected above.
 		slow, err := storage.NewArray(g.TilesFile(), storage.Options{
 			NumDisks:   opts.HDD.Disks,
 			StripeSize: opts.StripeSize,
@@ -269,6 +293,16 @@ func NewEngine(g *tile.Graph, opts Options) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{g: g, opts: opts, array: array, mm: mman}
+	if ra, ok := array.(storage.Readaheader); ok {
+		e.ra = ra
+		e.raBudget = opts.ReadaheadBytes
+		if e.raBudget == 0 && opts.Backend == "file" {
+			e.raBudget = 8 << 20
+		}
+		if e.raBudget < 0 {
+			e.raBudget = 0
+		}
+	}
 	if cb := opts.ChunkBytes; cb > 0 {
 		// Fixed-width codecs round the chunk size down to the tuple
 		// alignment; v3 tiles (TupleBytes 0) split at decode-block
@@ -450,6 +484,7 @@ func (e *Engine) Run(ctx context.Context, a algo.Algorithm) (*Stats, error) {
 	stats := r.stats
 	busyStart, chunksStart := e.workerSnapshot()
 	startStorage := e.array.Stats()
+	startExt, hasExt := storage.ExtStatsOf(e.array)
 	startUnattr := e.unattributedBytes.Load()
 	fd, hasFaults := e.array.(*storage.FaultDevice)
 	var startFaults storage.FaultStats
@@ -486,6 +521,10 @@ func (e *Engine) Run(ctx context.Context, a algo.Algorithm) (*Stats, error) {
 				stats.UnattributedBytes = e.unattributedBytes.Load() - startUnattr
 				if hasFaults {
 					stats.Faults = fd.FaultStats().Sub(startFaults)
+				}
+				if hasExt {
+					endExt, _ := storage.ExtStatsOf(e.array)
+					stats.IO = endExt.Sub(startExt)
 				}
 				return stats, err
 			}
@@ -539,6 +578,10 @@ func (e *Engine) Run(ctx context.Context, a algo.Algorithm) (*Stats, error) {
 	stats.UnattributedBytes = e.unattributedBytes.Load() - startUnattr
 	if hasFaults {
 		stats.Faults = fd.FaultStats().Sub(startFaults)
+	}
+	if hasExt {
+		endExt, _ := storage.ExtStatsOf(e.array)
+		stats.IO = endExt.Sub(startExt)
 	}
 	return stats, nil
 }
@@ -692,7 +735,65 @@ func (e *Engine) sweepIteration(batch []*runState) error {
 			sc.fetchMask = append(sc.fetchMask, sc.masks[k])
 		}
 	}
-	return e.slide(batch, sc.fetch, sc.fetchMask)
+	if err := e.slide(batch, sc.fetch, sc.fetchMask); err != nil {
+		return err
+	}
+	e.hintReadahead(batch)
+	return nil
+}
+
+// hintReadahead advises the storage device about the tiles the next
+// iteration will fetch: the union of NeedTileNextIter across the
+// batch's live runs, minus tiles already pooled (the rewind serves
+// those without I/O). Adjacent tiles merge into one sequential hint;
+// the total is capped by raBudget so a whole-graph interest set cannot
+// flood the page cache.
+func (e *Engine) hintReadahead(batch []*runState) {
+	if e.ra == nil || e.raBudget <= 0 {
+		return
+	}
+	layout := e.g.Layout
+	budget := e.raBudget
+	var curOff, curN int64
+	flush := func() {
+		if curN > 0 {
+			e.ra.Readahead(curOff, curN)
+			curN = 0
+		}
+	}
+	for i := 0; i < layout.NumTiles() && budget > 0; i++ {
+		if e.g.TupleCount(i) == 0 {
+			continue
+		}
+		if e.mm.CachedData(i) != nil {
+			flush()
+			continue
+		}
+		c := layout.CoordAt(i)
+		want := false
+		for _, r := range batch {
+			if !r.finished && r.alg.NeedTileNextIter(c.Row, c.Col) {
+				want = true
+				break
+			}
+		}
+		if !want {
+			flush()
+			continue
+		}
+		off, n := e.g.TileByteRange(i)
+		if n > budget {
+			n = budget
+		}
+		budget -= n
+		if curN > 0 && curOff+curN == off {
+			curN += n
+		} else {
+			flush()
+			curOff, curN = off, n
+		}
+	}
+	flush()
 }
 
 // indexSorted returns the position of x in the ascending slice, or -1.

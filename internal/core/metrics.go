@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"github.com/gwu-systems/gstore/internal/metrics"
+	"github.com/gwu-systems/gstore/internal/storage"
 )
 
 // RunSecondsBuckets are the histogram bounds for whole-run latency:
@@ -107,6 +108,31 @@ func PublishStats(r *metrics.Registry, graph string, st *Stats) {
 	r.Counter("gstore_mem_compactions_total",
 		"Pool compactions since engine start.", g).
 		Set(st.Mem.Compactions)
+
+	// Extended backend counters: present when the device tracks them
+	// (sim and file both do; wrappers forward). Labeled by backend so a
+	// daemon serving graphs on different backends keeps them apart.
+	if st.IO.Backend != "" {
+		b := metrics.L("backend", st.IO.Backend)
+		r.Gauge("gstore_storage_queue_depth",
+			"Requests submitted to the backend but not yet being read.", g, b).
+			Set(st.IO.QueueDepth)
+		r.Gauge("gstore_storage_inflight",
+			"Requests the backend is reading right now.", g, b).
+			Set(st.IO.Inflight)
+		r.Counter("gstore_storage_spans_total",
+			"Physical reads issued (per-disk chunks on sim, coalesced preads on file).", g, b).
+			Add(st.IO.Spans)
+		r.Counter("gstore_storage_coalesced_requests_total",
+			"Requests absorbed into a shared coalesced read.", g, b).
+			Add(st.IO.Coalesced)
+		r.Counter("gstore_storage_readahead_bytes_total",
+			"Bytes covered by accepted readahead hints.", g, b).
+			Add(st.IO.ReadaheadBytes)
+		r.Histogram("gstore_storage_read_seconds",
+			"Physical read latency by backend.", storage.ReadLatencySeconds, g, b).
+			Merge(st.IO.Latency.Counts, st.IO.Latency.SumSeconds())
+	}
 
 	r.Histogram("gstore_engine_run_seconds",
 		"Whole-run latency by graph.", RunSecondsBuckets, g).

@@ -102,7 +102,30 @@ type Options struct {
 	// read errors, short reads, and latency spikes.
 	Fault *storage.FaultConfig
 
-	// Storage simulation parameters (see internal/storage).
+	// Backend selects the storage device serving tile reads: "sim" (the
+	// default simulated SSD array, deterministic and throttleable per
+	// disk) or "file" (real positional reads against the tiles file with
+	// request coalescing — the hardware-measurement backend).
+	Backend string
+	// IOWorkers is the file backend's submitter goroutine pool size (its
+	// effective queue depth against the kernel). Zero selects the
+	// backend's default of 4. Ignored by the simulator, which sizes its
+	// pool by Disks.
+	IOWorkers int
+	// DirectIO makes the file backend attempt O_DIRECT reads (Linux),
+	// falling back to buffered reads where the platform or filesystem
+	// refuses. Ignored by the simulator.
+	DirectIO bool
+	// ReadaheadBytes caps how many bytes of next-iteration tiles the
+	// engine hints to the device per iteration (NeedTileNextIter-driven
+	// sequential readahead). Zero selects an 8 MiB default on the file
+	// backend; negative disables hinting.
+	ReadaheadBytes int64
+
+	// Storage simulation parameters (see internal/storage). Bandwidth
+	// and Latency are per simulated disk on the sim backend; on the file
+	// backend they configure an aggregate throttle (zero = raw hardware
+	// speed).
 	Disks      int
 	StripeSize int64
 	Bandwidth  float64
@@ -167,6 +190,16 @@ func DefaultOptions() Options {
 }
 
 func (o *Options) normalize() error {
+	switch o.Backend {
+	case "", "sim":
+		o.Backend = "sim"
+	case "file":
+	default:
+		return fmt.Errorf("core: unknown storage backend %q (want sim or file)", o.Backend)
+	}
+	if o.IOWorkers < 0 {
+		o.IOWorkers = 0
+	}
 	if o.Threads <= 0 {
 		o.Threads = runtime.GOMAXPROCS(0)
 	}
@@ -298,6 +331,10 @@ type Stats struct {
 	MetadataBytes int64
 	Mem           mem.Stats
 	Storage       storage.Stats
+	// IO holds the storage backend's extended counters for this run
+	// (queue depth, coalescing, read-latency histogram); Backend is
+	// empty when the device tracks none.
+	IO storage.ExtStats
 }
 
 // MTEPS returns millions of traversed edges per second given an edge

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/gwu-systems/gstore/internal/algo"
+	"github.com/gwu-systems/gstore/internal/storage"
 )
 
 // ErrQueueFull is returned by Scheduler.Run when the batch and the
@@ -174,6 +175,7 @@ func (s *Scheduler) Run(ctx context.Context, a algo.Algorithm) (*Stats, error) {
 // admitLocked moves a prepared run into the pending set and makes sure a
 // sweep loop is driving. Callers hold s.mu.
 func (s *Scheduler) admitLocked(r *runState) {
+	r.startExt, r.hasExt = storage.ExtStatsOf(s.e.array)
 	s.active++
 	s.pending = append(s.pending, r)
 	if !s.sweeping {
@@ -324,6 +326,10 @@ func (s *Scheduler) completeFinished(batch []*runState) {
 		st.Storage = s.e.array.Stats()
 		st.BytesRead = int64(math.Round(r.bytesFrac))
 		st.IORequests = int64(math.Round(r.reqFrac))
+		if r.hasExt {
+			endExt, _ := storage.ExtStatsOf(s.e.array)
+			st.IO = endExt.Sub(r.startExt)
+		}
 
 		s.mu.Lock()
 		s.active--

@@ -119,11 +119,24 @@ func (td *TileDelta) Merge(baseData []byte, c tile.Codec, bits uint, rowBase, co
 	return out, nil
 }
 
+// mergeKeyPool recycles the v3 merge path's packed-key scratch across
+// tiles and views: the keys are only an intermediate representation
+// (AppendV3 copies them into the encoded result), so the slice can be
+// reused as soon as one merge finishes. Capacity-capped on return so a
+// single huge tile cannot pin its scratch forever.
+var mergeKeyPool = sync.Pool{New: func() any { return new([]uint32) }}
+
+const maxPooledMergeKeys = 1 << 21 // 8 MiB of uint32 scratch
+
 func (td *TileDelta) mergeLocked(baseData []byte, c tile.Codec, bits uint, rowBase, colBase uint32) ([]byte, error) {
 	if c == tile.CodecV3 {
 		// Decode base and inserts to packed offset keys, drop masked base
 		// tuples, and re-encode; AppendV3 restores sorted block order.
-		keys := make([]uint32, 0, int64(len(baseData)/2)+int64(len(td.ins)/tile.SNBTupleBytes))
+		kp := mergeKeyPool.Get().(*[]uint32)
+		keys := (*kp)[:0]
+		if want := int(int64(len(baseData)/2) + int64(len(td.ins)/tile.SNBTupleBytes)); cap(keys) < want {
+			keys = make([]uint32, 0, want)
+		}
 		err := tile.DecodeV3(baseData, rowBase, colBase, func(s, d uint32) {
 			if _, ok := td.state[key(s, d)]; ok {
 				return
@@ -131,13 +144,20 @@ func (td *TileDelta) mergeLocked(baseData []byte, c tile.Codec, bits uint, rowBa
 			keys = append(keys, tile.V3Key(s-rowBase, d-colBase, bits))
 		})
 		if err != nil {
+			*kp = keys[:0]
+			mergeKeyPool.Put(kp)
 			return nil, fmt.Errorf("delta: merge base tile: %w", err)
 		}
 		for i := 0; i+tile.SNBTupleBytes <= len(td.ins); i += tile.SNBTupleBytes {
 			so, do := tile.GetSNB(td.ins[i:])
 			keys = append(keys, tile.V3Key(uint32(so), uint32(do), bits))
 		}
-		return tile.AppendV3(nil, keys, bits), nil
+		out := tile.AppendV3(nil, keys, bits)
+		if cap(keys) <= maxPooledMergeKeys {
+			*kp = keys[:0]
+			mergeKeyPool.Put(kp)
+		}
+		return out, nil
 	}
 	tb := int(c.TupleBytes())
 	if len(baseData)%tb != 0 {

@@ -129,6 +129,7 @@ func All() []Runner {
 		{"serve-personal", "Extension: personalized-query serving, one-root-per-slot vs fused msbfs + cache", ServePersonal},
 		{"ingest", "Extension: WAL-backed ingest then query, delta-merge overhead", IngestBench},
 		{"codec", "Extension: tile codec comparison, v2 fixed-width vs v3 blocks", CodecBench},
+		{"io", "Extension: real-file async I/O backend vs simulator", IOBench},
 		{"chaos", "Robustness: seeded crash/fault schedules, recovery and degraded modes verified", Chaos},
 	}
 }

@@ -106,6 +106,34 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// Merge folds a per-bucket count delta and sum delta into the
+// histogram, for republishing histograms maintained elsewhere (e.g. a
+// storage backend's read-latency buckets captured per run). bucketCounts
+// must use this histogram's bounds; entries beyond len(bounds)+1 are
+// folded into +Inf, missing trailing entries count as zero.
+func (h *Histogram) Merge(bucketCounts []int64, sum float64) {
+	var total int64
+	for i, c := range bucketCounts {
+		if c == 0 {
+			continue
+		}
+		j := i
+		if j >= len(h.counts) {
+			j = len(h.counts) - 1
+		}
+		h.counts[j].Add(c)
+		total += c
+	}
+	h.count.Add(total)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + sum)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 

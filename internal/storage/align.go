@@ -1,0 +1,7 @@
+package storage
+
+import "unsafe"
+
+// uintptrOf returns the base address of a non-empty slice, used to
+// shift pooled buffers onto O_DIRECT alignment boundaries.
+func uintptrOf(b []byte) uintptr { return uintptr(unsafe.Pointer(&b[0])) }

@@ -1,0 +1,20 @@
+//go:build linux
+
+package storage
+
+import (
+	"os"
+	"syscall"
+)
+
+// openDirect opens path with O_DIRECT for page-cache-bypassing reads.
+// Filesystems without direct I/O support (tmpfs, some overlays) fail
+// here or on the first read; FileDevice falls back to buffered mode in
+// both cases.
+func openDirect(path string) (*os.File, error) {
+	fd, err := syscall.Open(path, syscall.O_RDONLY|syscall.O_DIRECT|syscall.O_CLOEXEC, 0)
+	if err != nil {
+		return nil, err
+	}
+	return os.NewFile(uintptr(fd), path), nil
+}

@@ -1,0 +1,12 @@
+//go:build !linux
+
+package storage
+
+import (
+	"errors"
+	"os"
+)
+
+func openDirect(path string) (*os.File, error) {
+	return nil, errors.New("storage: O_DIRECT unsupported on this platform")
+}

@@ -1,0 +1,11 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package storage
+
+import "os"
+
+// Without fadvise the FileDevice warms the page cache itself with a
+// background read goroutine (see readaheadWorker).
+const fadviseSupported = false
+
+func fadviseWillNeed(f *os.File, off, n int64) {}

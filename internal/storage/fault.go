@@ -348,6 +348,22 @@ func (f *FaultDevice) ReadSync(offset int64, buf []byte) error {
 // Stats implements Device, forwarding the inner device's counters.
 func (f *FaultDevice) Stats() Stats { return f.inner.Stats() }
 
+// ExtStats implements ExtStatser, forwarding the inner device's
+// extended counters (fault injection does not change them).
+func (f *FaultDevice) ExtStats() ExtStats {
+	s, _ := ExtStatsOf(f.inner)
+	return s
+}
+
+// Readahead implements Readaheader, forwarding the hint when the inner
+// device accepts hints. Faults are never injected into readahead — it
+// is advisory and carries no data.
+func (f *FaultDevice) Readahead(offset, n int64) {
+	if ra, ok := f.inner.(Readaheader); ok {
+		ra.Readahead(offset, n)
+	}
+}
+
 // Close implements Device. Pending completions no one will read are
 // dropped so the pump can exit even when the channel is full.
 func (f *FaultDevice) Close() {

@@ -1,0 +1,277 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func fileDeviceOver(t *testing.T, data []byte, opts FileOptions) *FileDevice {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.tiles")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewFileDevice(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+// TestCoalesceOutOfOrderTags is the fix-path guard for the demux
+// accounting: a batch of adjacent requests submitted with tags out of
+// offset order must merge into one span read and still complete each
+// tag with exactly its own byte count and bytes. (PR 1 fixed the
+// equivalent per-chunk accounting bug in Array.finishChunk; this pins
+// the split-completion side of coalescing against the same mistake.)
+func TestCoalesceOutOfOrderTags(t *testing.T) {
+	data := make([]byte, 64<<10)
+	rand.New(rand.NewSource(3)).Read(data)
+	d := fileDeviceOver(t, data, FileOptions{Workers: 1})
+
+	// Three adjacent ranges with different sizes, tagged out of order.
+	sizes := []int{1000, 3000, 500}
+	offs := []int64{4096, 5096, 8096}
+	tags := []int64{30, 10, 20}
+	bufs := make([][]byte, len(sizes))
+	var reqs []*Request
+	for i := range sizes {
+		bufs[i] = make([]byte, sizes[i])
+		reqs = append(reqs, &Request{Offset: offs[i], Buf: bufs[i], Tag: tags[i]})
+	}
+	// Submit in tag order 30, 20, 10 — neither offset- nor tag-sorted.
+	if err := d.Submit([]*Request{reqs[0], reqs[2], reqs[1]}); err != nil {
+		t.Fatal(err)
+	}
+	comps := d.Wait(3, nil)
+	if len(comps) != 3 {
+		t.Fatalf("got %d completions, want 3", len(comps))
+	}
+	for _, c := range comps {
+		var i int
+		switch c.Tag {
+		case 30:
+			i = 0
+		case 10:
+			i = 1
+		case 20:
+			i = 2
+		default:
+			t.Fatalf("unexpected tag %d", c.Tag)
+		}
+		if c.Err != nil {
+			t.Fatalf("tag %d: %v", c.Tag, c.Err)
+		}
+		if c.N != sizes[i] {
+			t.Fatalf("tag %d: N=%d, want exactly %d", c.Tag, c.N, sizes[i])
+		}
+		if !bytes.Equal(bufs[i], data[offs[i]:offs[i]+int64(sizes[i])]) {
+			t.Fatalf("tag %d: wrong bytes", c.Tag)
+		}
+	}
+	es := d.ExtStats()
+	if es.Spans != 1 {
+		t.Fatalf("adjacent batch issued %d span reads, want 1", es.Spans)
+	}
+	if es.Coalesced != 2 {
+		t.Fatalf("Coalesced=%d, want 2 (two requests absorbed)", es.Coalesced)
+	}
+	if st := d.Stats(); st.BytesRead != int64(1000+3000+500) {
+		t.Fatalf("BytesRead=%d counts more than delivered bytes", st.BytesRead)
+	}
+}
+
+// TestCoalesceGapBridging: requests with a small hole between them
+// merge into one read, the hole's bytes are counted as gap overhead,
+// and per-tag byte counts stay exact.
+func TestCoalesceGapBridging(t *testing.T) {
+	data := make([]byte, 64<<10)
+	rand.New(rand.NewSource(4)).Read(data)
+	d := fileDeviceOver(t, data, FileOptions{Workers: 1, CoalesceGap: 4096})
+
+	a := make([]byte, 1024)
+	b := make([]byte, 1024)
+	reqs := []*Request{
+		{Offset: 0, Buf: a, Tag: 1},
+		{Offset: 3072, Buf: b, Tag: 2}, // 2048-byte hole
+	}
+	if err := d.Submit(reqs); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range d.Wait(2, nil) {
+		if c.Err != nil || c.N != 1024 {
+			t.Fatalf("tag %d: N=%d err=%v", c.Tag, c.N, c.Err)
+		}
+	}
+	if !bytes.Equal(a, data[:1024]) || !bytes.Equal(b, data[3072:4096]) {
+		t.Fatal("gap-bridged reads returned wrong bytes")
+	}
+	es := d.ExtStats()
+	if es.Spans != 1 || es.Coalesced != 1 {
+		t.Fatalf("Spans=%d Coalesced=%d, want 1/1", es.Spans, es.Coalesced)
+	}
+	if es.GapBytes != 2048 {
+		t.Fatalf("GapBytes=%d, want 2048", es.GapBytes)
+	}
+	if st := d.Stats(); st.BytesRead != 2048 {
+		t.Fatalf("BytesRead=%d must exclude gap bytes", st.BytesRead)
+	}
+}
+
+// TestCoalesceEOFDemux: a coalesced span truncated by EOF must give
+// each member its exact available byte count.
+func TestCoalesceEOFDemux(t *testing.T) {
+	data := make([]byte, 10000)
+	rand.New(rand.NewSource(5)).Read(data)
+	d := fileDeviceOver(t, data, FileOptions{Workers: 1})
+
+	full := make([]byte, 2000)  // fully inside
+	part := make([]byte, 2000)  // truncated to 1000
+	empty := make([]byte, 2000) // entirely past EOF
+	reqs := []*Request{
+		{Offset: 7000, Buf: full, Tag: 1},
+		{Offset: 9000, Buf: part, Tag: 2},
+		{Offset: 11000, Buf: empty, Tag: 3},
+	}
+	if err := d.Submit(reqs); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range d.Wait(3, nil) {
+		switch c.Tag {
+		case 1:
+			if c.N != 2000 || c.Err != nil {
+				t.Fatalf("inside read: N=%d err=%v", c.N, c.Err)
+			}
+			if !bytes.Equal(full, data[7000:9000]) {
+				t.Fatal("inside read: wrong bytes")
+			}
+		case 2:
+			if c.N != 1000 || !errors.Is(c.Err, io.EOF) {
+				t.Fatalf("truncated read: N=%d err=%v, want 1000/io.EOF", c.N, c.Err)
+			}
+			if !bytes.Equal(part[:1000], data[9000:]) {
+				t.Fatal("truncated read: wrong bytes")
+			}
+		case 3:
+			if c.N != 0 || !errors.Is(c.Err, io.EOF) {
+				t.Fatalf("past-EOF read: N=%d err=%v, want 0/io.EOF", c.N, c.Err)
+			}
+		}
+	}
+	if es := d.ExtStats(); es.Spans != 1 {
+		t.Fatalf("Spans=%d, want 1", es.Spans)
+	}
+}
+
+// TestFileDeviceSpanLimits: coalescing respects MaxSpanBytes and a
+// negative CoalesceGap disables merging entirely.
+func TestFileDeviceSpanLimits(t *testing.T) {
+	data := make([]byte, 64<<10)
+	rand.New(rand.NewSource(6)).Read(data)
+
+	t.Run("MaxSpanBytes", func(t *testing.T) {
+		d := fileDeviceOver(t, data, FileOptions{Workers: 1, MaxSpanBytes: 4096})
+		var reqs []*Request
+		for i := 0; i < 4; i++ {
+			reqs = append(reqs, &Request{Offset: int64(i) * 4096, Buf: make([]byte, 4096), Tag: int64(i)})
+		}
+		if err := d.Submit(reqs); err != nil {
+			t.Fatal(err)
+		}
+		d.Wait(4, nil)
+		if es := d.ExtStats(); es.Spans != 4 || es.Coalesced != 0 {
+			t.Fatalf("Spans=%d Coalesced=%d, want 4/0 under a one-request span cap", es.Spans, es.Coalesced)
+		}
+	})
+	t.Run("CoalesceDisabled", func(t *testing.T) {
+		d := fileDeviceOver(t, data, FileOptions{Workers: 1, CoalesceGap: -1})
+		reqs := []*Request{
+			{Offset: 0, Buf: make([]byte, 1024), Tag: 1},
+			{Offset: 1024, Buf: make([]byte, 1024), Tag: 2},
+		}
+		if err := d.Submit(reqs); err != nil {
+			t.Fatal(err)
+		}
+		d.Wait(2, nil)
+		if es := d.ExtStats(); es.Spans != 2 {
+			t.Fatalf("Spans=%d, want 2 with coalescing disabled", es.Spans)
+		}
+	})
+}
+
+// TestFileDeviceDirectFallback: requesting direct I/O must never break
+// correctness — on filesystems that refuse O_DIRECT (tmpdirs are often
+// tmpfs) the device falls back to buffered reads transparently.
+func TestFileDeviceDirectFallback(t *testing.T) {
+	data := make([]byte, 256<<10)
+	rand.New(rand.NewSource(7)).Read(data)
+	d := fileDeviceOver(t, data, FileOptions{Workers: 2, Direct: true})
+
+	var reqs []*Request
+	bufs := make([][]byte, 8)
+	for i := range bufs {
+		bufs[i] = make([]byte, 5000) // deliberately unaligned length
+		reqs = append(reqs, &Request{Offset: int64(i)*7000 + 3, Buf: bufs[i], Tag: int64(i)})
+	}
+	if err := d.Submit(reqs); err != nil {
+		t.Fatal(err)
+	}
+	comps := d.Wait(len(reqs), nil)
+	if len(comps) != len(reqs) {
+		t.Fatalf("got %d completions, want %d", len(comps), len(reqs))
+	}
+	for _, c := range comps {
+		if c.Err != nil || c.N != 5000 {
+			t.Fatalf("tag %d: N=%d err=%v", c.Tag, c.N, c.Err)
+		}
+		off := c.Tag*7000 + 3
+		if !bytes.Equal(bufs[c.Tag], data[off:off+5000]) {
+			t.Fatalf("tag %d: wrong bytes (mode=%s)", c.Tag, d.ExtStats().Mode)
+		}
+	}
+}
+
+// TestFileDeviceReadahead: hints are accepted and counted, and reads
+// after a hint still return correct data.
+func TestFileDeviceReadahead(t *testing.T) {
+	data := make([]byte, 128<<10)
+	rand.New(rand.NewSource(8)).Read(data)
+	d := fileDeviceOver(t, data, FileOptions{Workers: 2})
+
+	d.Readahead(0, 64<<10)
+	d.Readahead(64<<10, 64<<10)
+	buf := make([]byte, 32<<10)
+	if err := d.ReadSync(1000, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[1000:1000+32<<10]) {
+		t.Fatal("read after readahead returned wrong bytes")
+	}
+	es := d.ExtStats()
+	if es.ReadaheadHints != 2 || es.ReadaheadBytes != 128<<10 {
+		t.Fatalf("ReadaheadHints=%d ReadaheadBytes=%d, want 2/%d",
+			es.ReadaheadHints, es.ReadaheadBytes, 128<<10)
+	}
+}
+
+// TestAlignedBuf pins the pooled-buffer alignment guarantee O_DIRECT
+// depends on.
+func TestAlignedBuf(t *testing.T) {
+	for _, align := range []int{512, 4096} {
+		for _, n := range []int{1, 511, 4096, 1 << 20} {
+			b := alignedBuf(n, align)
+			if len(b) != n {
+				t.Fatalf("alignedBuf(%d,%d): len %d", n, align, len(b))
+			}
+			if rem := uintptrOf(b) % uintptr(align); rem != 0 {
+				t.Fatalf("alignedBuf(%d,%d): base address misaligned by %d", n, align, rem)
+			}
+		}
+	}
+}

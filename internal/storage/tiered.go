@@ -6,24 +6,6 @@ import (
 	"sync/atomic"
 )
 
-// Device is the asynchronous block-device interface the engine consumes.
-// Array implements it; Tiered composes two of them.
-type Device interface {
-	// Submit enqueues a batch of read requests.
-	Submit(reqs []*Request) error
-	// Wait blocks for at least min further completions and drains what
-	// else is ready.
-	Wait(min int, out []Completion) []Completion
-	// ReadSync performs one synchronous read.
-	ReadSync(offset int64, buf []byte) error
-	// Stats snapshots the device counters.
-	Stats() Stats
-	// Close releases the device.
-	Close()
-}
-
-var _ Device = (*Array)(nil)
-
 // Tiered is the tiered store of the paper's future work (§IX): bytes
 // below Boundary live on a fast device (the SSD array), bytes at or above
 // it on a slow one (a set of hard drives). Requests spanning the boundary
@@ -202,6 +184,82 @@ func (t *Tiered) Stats() Stats {
 // TierStats returns the per-tier counters.
 func (t *Tiered) TierStats() (fast, slow Stats) {
 	return t.fast.Stats(), t.slow.Stats()
+}
+
+// ExtStats implements ExtStatser, merging whichever tiers track
+// extended counters.
+func (t *Tiered) ExtStats() ExtStats {
+	fs, fok := ExtStatsOf(t.fast)
+	ss, sok := ExtStatsOf(t.slow)
+	switch {
+	case fok && sok:
+		out := fs
+		out.Backend = fs.Backend + "+" + ss.Backend
+		if ss.Mode != "" && ss.Mode != fs.Mode {
+			out.Mode = fs.Mode + "+" + ss.Mode
+		}
+		out.QueueDepth += ss.QueueDepth
+		out.Inflight += ss.Inflight
+		out.Spans += ss.Spans
+		out.Coalesced += ss.Coalesced
+		out.GapBytes += ss.GapBytes
+		out.PadBytes += ss.PadBytes
+		out.DirectReads += ss.DirectReads
+		out.ReadaheadHints += ss.ReadaheadHints
+		out.ReadaheadBytes += ss.ReadaheadBytes
+		out.Latency = addLatency(fs.Latency, ss.Latency)
+		return out
+	case fok:
+		return fs
+	case sok:
+		return ss
+	}
+	return ExtStats{}
+}
+
+func addLatency(a, b LatencyStats) LatencyStats {
+	out := LatencyStats{
+		SumNano: a.SumNano + b.SumNano,
+		Count:   a.Count + b.Count,
+	}
+	n := len(a.Counts)
+	if len(b.Counts) > n {
+		n = len(b.Counts)
+	}
+	out.Counts = make([]int64, n)
+	for i := range out.Counts {
+		if i < len(a.Counts) {
+			out.Counts[i] += a.Counts[i]
+		}
+		if i < len(b.Counts) {
+			out.Counts[i] += b.Counts[i]
+		}
+	}
+	return out
+}
+
+// Readahead implements Readaheader, forwarding the hinted range to the
+// tier(s) that own it.
+func (t *Tiered) Readahead(offset, n int64) {
+	end := offset + n
+	if offset < t.boundary {
+		fe := end
+		if fe > t.boundary {
+			fe = t.boundary
+		}
+		if ra, ok := t.fast.(Readaheader); ok {
+			ra.Readahead(offset, fe-offset)
+		}
+	}
+	if end > t.boundary {
+		so := offset
+		if so < t.boundary {
+			so = t.boundary
+		}
+		if ra, ok := t.slow.(Readaheader); ok {
+			ra.Readahead(so, end-so)
+		}
+	}
 }
 
 // Close implements Device. As with Array.Close, pending merged

@@ -128,6 +128,10 @@ func (g *Graph) BasePath() string { return g.base }
 // TilesFile exposes the tiles file for the asynchronous I/O engine.
 func (g *Graph) TilesFile() *os.File { return g.tiles }
 
+// TilesPath returns the tiles file's path, for device backends that
+// open their own descriptors (e.g. O_DIRECT).
+func (g *Graph) TilesPath() string { return tilesPath(g.base) }
+
 // TupleCount returns the number of tuples in the tile at disk index i.
 func (g *Graph) TupleCount(i int) int64 { return g.Start[i+1] - g.Start[i] }
 
